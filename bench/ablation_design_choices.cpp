@@ -1,0 +1,113 @@
+// Ablation studies for the design choices DESIGN.md calls out, beyond the
+// paper's own figures:
+//   A. shuffle buffer size S: latency vs adversary success (finer grid than
+//      Fig. 7 / §6.2);
+//   B. shuffle flush timer: the latency floor under low traffic;
+//   C. multi-tenancy (§6.3 mitigation): sharing one proxy layer across
+//      applications restores shuffle anonymity for low-traffic tenants;
+//   D. service-time jitter sensitivity of the latency distribution.
+#include <cstdio>
+
+#include "attack/correlation.hpp"
+#include "figure_common.hpp"
+
+using namespace pprox;
+using namespace pprox::bench;
+
+namespace {
+
+sim::WorkloadConfig quick(double rps) {
+  sim::WorkloadConfig w;
+  w.rps = rps;
+  w.duration_ms = 30'000;
+  w.warmup_ms = 5'000;
+  w.cooldown_ms = 5'000;
+  w.repetitions = 2;
+  w.seed = 13;
+  return w;
+}
+
+std::vector<sim::FlowEvent> trace(const sim::ProxyConfig& proxy, double rps) {
+  sim::LrsConfig lrs;
+  sim::WorkloadConfig w = quick(rps);
+  w.repetitions = 1;
+  w.warmup_ms = 0;
+  w.cooldown_ms = 0;
+  std::vector<sim::FlowEvent> events;
+  sim::run_cluster(proxy, lrs, w, sim::CostModel{},
+                   [&events](const sim::FlowEvent& e) { events.push_back(e); });
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  const sim::CostModel costs;
+  SplitMix64 rng(7);
+
+  std::printf("=== Ablation A: shuffle size S (1 pair, 250 RPS) ===\n");
+  std::printf("%-4s %10s %10s %14s\n", "S", "med(ms)", "p95(ms)", "attackSuccess");
+  for (const int s : {0, 2, 5, 10, 20, 40}) {
+    sim::ProxyConfig proxy;
+    proxy.shuffle_size = s;
+    sim::LrsConfig lrs;
+    const auto result = sim::run_cluster(proxy, lrs, quick(250), costs);
+    const auto attack =
+        attack::link_requests_at_ua(trace(proxy, 250), rng);
+    std::printf("%-4d %10.1f %10.1f %14.4f\n", s,
+                result.latencies.percentile(50), result.latencies.percentile(95),
+                attack.success_rate());
+  }
+  std::printf("(latency grows ~linearly in S; attack success ~1/S: S=10 is the\n"
+              " paper's privacy/latency sweet spot)\n");
+
+  std::printf("\n=== Ablation B: shuffle flush timer (S=10, 1 pair, 20 RPS) ===\n");
+  std::printf("%-10s %10s %10s\n", "timer(ms)", "med(ms)", "p99(ms)");
+  for (const double t : {100.0, 250.0, 500.0, 1000.0}) {
+    sim::ProxyConfig proxy;
+    proxy.shuffle_size = 10;
+    proxy.shuffle_timeout_ms = t;
+    sim::LrsConfig lrs;
+    const auto result = sim::run_cluster(proxy, lrs, quick(20), costs);
+    std::printf("%-10.0f %10.1f %10.1f\n", t, result.latencies.percentile(50),
+                result.latencies.percentile(99));
+  }
+  std::printf("(non-monotone: timers shorter than the buffer fill time S/rate\n"
+              " flush early and bound the delay; timers just above it make\n"
+              " every batch wait the full timeout; much longer timers let the\n"
+              " buffer fill by size again)\n");
+
+  std::printf("\n=== Ablation C: multi-tenancy at low per-tenant traffic ===\n");
+  std::printf("%-28s %10s %14s\n", "deployment", "rps", "attackSuccess");
+  {
+    sim::ProxyConfig proxy;
+    proxy.shuffle_size = 10;
+    // One tenant alone at 10 RPS: buffers fill slowly, shuffling degrades.
+    const auto alone = attack::link_requests_at_ua(trace(proxy, 10), rng);
+    // The same tenant sharing the proxy with 9 others (combined 100 RPS):
+    // its requests hide in the common shuffle buffers (§6.3 mitigation).
+    const auto shared = attack::link_requests_at_ua(trace(proxy, 100), rng);
+    std::printf("%-28s %10.0f %14.4f\n", "tenant alone", 10.0, alone.success_rate());
+    std::printf("%-28s %10.0f %14.4f\n", "shared proxy (10 tenants)", 100.0,
+                shared.success_rate());
+  }
+
+  std::printf("\n=== Ablation D: CPU jitter sensitivity (m6 @ 250 RPS) ===\n");
+  std::printf("%-8s %10s %10s %10s\n", "sigma", "p25(ms)", "med(ms)", "p95(ms)");
+  for (const double sigma : {0.0, 0.12, 0.3, 0.6}) {
+    sim::CostModel jittered = costs;
+    jittered.cpu_jitter_sigma = sigma;
+    sim::ProxyConfig proxy;
+    proxy.shuffle_size = 10;
+    sim::LrsConfig lrs;
+    const auto result = sim::run_cluster(proxy, lrs, quick(250), jittered);
+    std::printf("%-8.2f %10.1f %10.1f %10.1f\n", sigma,
+                result.latencies.percentile(25), result.latencies.percentile(50),
+                result.latencies.percentile(95));
+  }
+  std::printf("(moderate jitter leaves the distribution stable, so the figure\n"
+              " shapes do not hinge on this parameter; extreme jitter inflates\n"
+              " the mean service time — lognormal mean grows with sigma — and\n"
+              " pushes the deployment into saturation)\n");
+  return 0;
+}

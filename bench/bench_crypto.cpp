@@ -1,0 +1,164 @@
+// Microbenchmarks for the crypto substrate. These are the real measured
+// costs behind the simulator's CostModel (DESIGN.md "calibration"): RSA
+// private ops dominate the proxy's per-request CPU, deterministic AES is
+// nearly free — which is why Fig. 6's encryption bar dwarfs the SGX bar and
+// why m4 (no item pseudonymization) is indistinguishable from m3.
+#include <benchmark/benchmark.h>
+
+#include "crypto/ctr.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hybrid.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "pprox/message.hpp"
+
+namespace {
+
+using namespace pprox;
+using namespace pprox::crypto;
+
+Drbg& bench_rng() {
+  static Drbg rng(to_bytes("bench-crypto"));
+  return rng;
+}
+
+const RsaKeyPair& keys_1024() {
+  static RsaKeyPair keys = rsa_generate(1024, bench_rng());
+  return keys;
+}
+
+const RsaKeyPair& keys_2048() {
+  static RsaKeyPair keys = rsa_generate(2048, bench_rng());
+  return keys;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = bench_rng().bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = bench_rng().bytes(32);
+  const Bytes data = bench_rng().bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_AesBlock(benchmark::State& state) {
+  const Aes aes(bench_rng().bytes(32));
+  std::uint8_t block[16] = {};
+  for (auto _ : state) {
+    aes.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_AesCtr(benchmark::State& state) {
+  const Aes aes(bench_rng().bytes(32));
+  const Bytes data = bench_rng().bytes(static_cast<std::size_t>(state.range(0)));
+  const std::array<std::uint8_t, 16> iv{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr_crypt(aes, iv, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(48)->Arg(2048)->Arg(65536);
+
+// The pseudonymization primitive: det_enc over one identifier block.
+// CostModel.det_enc_ms derives from this.
+void BM_DetEncIdBlock(benchmark::State& state) {
+  const DeterministicCipher det(bench_rng().bytes(32));
+  const Bytes block = pad_identifier("user-123456").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.encrypt(block));
+  }
+}
+BENCHMARK(BM_DetEncIdBlock);
+
+// Response protection: AES-CTR random-IV over the fixed response block.
+void BM_ResponseBlockEncrypt(benchmark::State& state) {
+  const RandomIvCipher cipher(bench_rng().bytes(32));
+  const Bytes block(kResponseBlockSize, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher.encrypt(block, bench_rng()));
+  }
+}
+BENCHMARK(BM_ResponseBlockEncrypt);
+
+// Client-side cost: CostModel.client_encrypt_ms derives from two of these.
+void BM_RsaOaepEncrypt(benchmark::State& state) {
+  const auto& keys = state.range(0) == 1024 ? keys_1024() : keys_2048();
+  const Bytes block = pad_identifier("user-123456").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_encrypt_oaep(keys.pub, block, bench_rng()));
+  }
+}
+BENCHMARK(BM_RsaOaepEncrypt)->Arg(1024)->Arg(2048);
+
+// The proxy's dominant cost: CostModel.rsa_decrypt_ms derives from this.
+void BM_RsaOaepDecrypt(benchmark::State& state) {
+  const auto& keys = state.range(0) == 1024 ? keys_1024() : keys_2048();
+  const Bytes block = pad_identifier("user-123456").value();
+  const Bytes ct = rsa_encrypt_oaep(keys.pub, block, bench_rng()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_decrypt_oaep(keys.priv, ct));
+  }
+}
+BENCHMARK(BM_RsaOaepDecrypt)->Arg(1024)->Arg(2048);
+
+void BM_RsaSign(benchmark::State& state) {
+  const Bytes msg = bench_rng().bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign_sha256(keys_1024().priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const Bytes msg = bench_rng().bytes(256);
+  const Bytes sig = rsa_sign_sha256(keys_1024().priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_verify_sha256(keys_1024().pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify);
+
+void BM_HybridProvisioningBlob(benchmark::State& state) {
+  const Bytes secrets = bench_rng().bytes(1200);  // ~ serialized LayerSecrets
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hybrid_encrypt(keys_1024().pub, secrets, bench_rng()));
+  }
+}
+BENCHMARK(BM_HybridProvisioningBlob);
+
+void BM_DrbgFill(benchmark::State& state) {
+  Bytes buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bench_rng().fill(buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DrbgFill)->Arg(32)->Arg(4096);
+
+void BM_BigIntModExp1024(benchmark::State& state) {
+  Drbg& rng = bench_rng();
+  const BigInt base = BigInt::random_with_bits(1024, rng);
+  const BigInt exp = BigInt::random_with_bits(1024, rng);
+  const BigInt mod = BigInt::random_with_bits(1024, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.modexp(exp, mod));
+  }
+}
+BENCHMARK(BM_BigIntModExp1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

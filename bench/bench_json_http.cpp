@@ -1,0 +1,129 @@
+// JSON/HTTP/base64 microbenchmarks: the proxy's non-crypto per-packet work.
+// CostModel.parse_forward_ms and response_forward_ms are calibrated from
+// these plus the transport layer overheads.
+#include <benchmark/benchmark.h>
+
+#include "common/encoding.hpp"
+#include "crypto/drbg.hpp"
+#include "http/http.hpp"
+#include "json/json.hpp"
+
+namespace {
+
+using namespace pprox;
+
+std::string sample_post_body() {
+  // Realistic proxy-visible body: two base64 ciphertext fields.
+  crypto::Drbg rng(to_bytes("bench-json"));
+  json::JsonValue body{json::JsonObject{}};
+  body.set("user", base64_encode(rng.bytes(128)));
+  body.set("item", base64_encode(rng.bytes(128)));
+  return body.dump();
+}
+
+void BM_JsonParsePostBody(benchmark::State& state) {
+  const std::string body = sample_post_body();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::parse(body));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(body.size()));
+}
+BENCHMARK(BM_JsonParsePostBody);
+
+void BM_JsonDump(benchmark::State& state) {
+  const auto doc = json::parse(sample_post_body()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.dump());
+  }
+}
+BENCHMARK(BM_JsonDump);
+
+// The enclave hot path: find + replace a field without building a DOM.
+void BM_InPlaceFieldReplace(benchmark::State& state) {
+  const std::string original = sample_post_body();
+  const std::string replacement(88, 'A');
+  for (auto _ : state) {
+    std::string body = original;
+    json::replace_string_field(body, "user", replacement);
+    benchmark::DoNotOptimize(body);
+  }
+}
+BENCHMARK(BM_InPlaceFieldReplace);
+
+void BM_InPlaceFieldFind(benchmark::State& state) {
+  const std::string body = sample_post_body();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::find_string_field(body, "item"));
+  }
+}
+BENCHMARK(BM_InPlaceFieldFind);
+
+void BM_Base64Encode(benchmark::State& state) {
+  crypto::Drbg rng(to_bytes("b64"));
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base64_encode(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Base64Encode)->Arg(48)->Arg(2048);
+
+void BM_Base64Decode(benchmark::State& state) {
+  crypto::Drbg rng(to_bytes("b64d"));
+  const std::string text = base64_encode(rng.bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base64_decode(text));
+  }
+}
+BENCHMARK(BM_Base64Decode)->Arg(48)->Arg(2048);
+
+void BM_HttpSerializeRequest(benchmark::State& state) {
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/engines/ur/events";
+  req.set_header("Content-Type", "application/json");
+  req.body = sample_post_body();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(req.serialize());
+  }
+}
+BENCHMARK(BM_HttpSerializeRequest);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/engines/ur/events";
+  req.body = sample_post_body();
+  const std::string wire = req.serialize();
+  for (auto _ : state) {
+    http::HttpParser parser(http::HttpParser::Mode::kRequest);
+    parser.feed(wire);
+    benchmark::DoNotOptimize(parser.next_request());
+  }
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_RouterDispatch(benchmark::State& state) {
+  http::Router router;
+  for (int i = 0; i < 8; ++i) {
+    router.add("GET", "/other/" + std::to_string(i),
+               [](const http::HttpRequest&) {
+                 return http::HttpResponse::json_response(200, "{}");
+               });
+  }
+  router.add("POST", "/engines/*/events", [](const http::HttpRequest&) {
+    return http::HttpResponse::json_response(201, "{}");
+  });
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/engines/ur/events";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.dispatch(req));
+  }
+}
+BENCHMARK(BM_RouterDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Figure 8 reproduction: horizontal scaling of the proxy service.
+//   m6..m9: 1..4 instances per layer (2..8 nodes), all features, S = 10.
+// Stub LRS, 50..1000 RPS. Each extra UA+IA pair adds ~250 RPS of capacity;
+// over-provisioned low-RPS points expose the shuffle-timer latency floor
+// (the motivation for elastic down-scaling, §5/§8.1.2).
+#include "figure_common.hpp"
+
+using namespace pprox::bench;
+
+int main() {
+  const pprox::sim::CostModel costs;
+  const std::vector<double> rps = {50, 250, 500, 750, 1000};
+
+  print_figure_header(
+      "Figure 8: proxy horizontal scaling (stub LRS, S=10, 1..4 instance pairs)");
+  for (const auto& config : {m6(), m7(), m8(), m9()}) {
+    // The paper plots every configuration at every RPS it sustains; over-
+    // provisioned points (high latency, low rate) are part of the message,
+    // so do not stop at the first saturated point here — skip it instead.
+    for (const double r : rps) {
+      run_and_print_point(config, r, costs);
+    }
+  }
+
+  std::printf("\nExpected shape (paper): each pair adds ~250 RPS before"
+              "\nsaturation; 4 pairs sustain 1000 RPS under 200 ms median;"
+              "\nover-provisioned points (e.g. m9 at 50 RPS) show the"
+              "\nshuffle-timer floor.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Shared harness for the figure/table reproduction benches: runs simulated
+// experiments per (configuration, RPS) pair and prints candlestick rows in
+// the paper's reporting style (§8 "Metrics and workload"): aggregated over
+// repetitions, warm-up/cool-down trimmed, reported up to saturation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/cluster.hpp"
+
+namespace pprox::bench {
+
+struct NamedProxyConfig {
+  std::string name;
+  sim::ProxyConfig proxy;
+  sim::LrsConfig lrs;
+};
+
+inline sim::WorkloadConfig standard_workload(double rps) {
+  sim::WorkloadConfig w;
+  w.rps = rps;
+  // The paper injects for 5 min and trims 15 s on both sides; we simulate a
+  // 60 s window with 10 s trims and aggregate 6 repetitions (same count).
+  w.duration_ms = 60'000;
+  w.warmup_ms = 10'000;
+  w.cooldown_ms = 10'000;
+  w.repetitions = 6;
+  w.seed = 42;
+  return w;
+}
+
+inline void print_figure_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%s\n", candlestick_header().c_str());
+}
+
+inline std::string point_label(const std::string& name, double rps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s @ %.0f rps", name.c_str(), rps);
+  return buf;
+}
+
+/// Runs one (config, rps) point; prints the row; returns true when stable
+/// (callers stop the sweep at the first saturated point, like the paper,
+/// which reports "up to the last value measured before reaching
+/// saturation").
+inline bool run_and_print_point(const NamedProxyConfig& config, double rps,
+                                const sim::CostModel& costs) {
+  const sim::RunResult result =
+      sim::run_cluster(config.proxy, config.lrs, standard_workload(rps), costs);
+  const std::string label = point_label(config.name, rps);
+  if (result.saturated || result.latencies.empty()) {
+    std::printf("%-24s   SATURATED (completed %zu/%zu)\n", label.c_str(),
+                result.completed, result.injected);
+    return false;
+  }
+  std::printf("%s\n",
+              format_candlestick_row(label, result.latencies.candlestick()).c_str());
+  return true;
+}
+
+/// Sweeps a config across RPS points, stopping after the first saturation.
+inline void sweep(const NamedProxyConfig& config, const std::vector<double>& rps_points,
+                  const sim::CostModel& costs) {
+  for (const double rps : rps_points) {
+    if (!run_and_print_point(config, rps, costs)) break;
+  }
+}
+
+// --- The paper's named configurations (Tables 2 and 3) ---------------------
+
+inline NamedProxyConfig micro_config(const std::string& name, bool enc, bool sgx,
+                                     int shuffle, int instances,
+                                     bool item_pseudo = true) {
+  NamedProxyConfig c;
+  c.name = name;
+  c.proxy.encryption = enc;
+  c.proxy.sgx = sgx;
+  c.proxy.item_pseudonymization = item_pseudo;
+  c.proxy.shuffle_size = shuffle;
+  c.proxy.ua_instances = instances;
+  c.proxy.ia_instances = instances;
+  c.lrs.kind = sim::LrsConfig::Kind::kStub;
+  return c;
+}
+
+inline NamedProxyConfig m1() { return micro_config("m1", false, false, 0, 1); }
+inline NamedProxyConfig m2() { return micro_config("m2", true, false, 0, 1); }
+inline NamedProxyConfig m3() { return micro_config("m3", true, true, 0, 1); }
+inline NamedProxyConfig m4() {
+  return micro_config("m4", true, true, 0, 1, /*item_pseudo=*/false);
+}
+inline NamedProxyConfig m5() { return micro_config("m5", true, true, 5, 1); }
+inline NamedProxyConfig m6() { return micro_config("m6", true, true, 10, 1); }
+inline NamedProxyConfig m7() { return micro_config("m7", true, true, 10, 2); }
+inline NamedProxyConfig m8() { return micro_config("m8", true, true, 10, 3); }
+inline NamedProxyConfig m9() { return micro_config("m9", true, true, 10, 4); }
+
+inline NamedProxyConfig baseline_config(const std::string& name, int frontends) {
+  NamedProxyConfig c;
+  c.name = name;
+  c.proxy.enabled = false;
+  c.lrs.kind = sim::LrsConfig::Kind::kHarness;
+  c.lrs.frontend_nodes = frontends;
+  return c;
+}
+
+inline NamedProxyConfig b1() { return baseline_config("b1", 3); }
+inline NamedProxyConfig b2() { return baseline_config("b2", 6); }
+inline NamedProxyConfig b3() { return baseline_config("b3", 9); }
+inline NamedProxyConfig b4() { return baseline_config("b4", 12); }
+
+inline NamedProxyConfig full_config(const std::string& name, int instances,
+                                    int frontends) {
+  NamedProxyConfig c = micro_config(name, true, true, 10, instances);
+  c.lrs.kind = sim::LrsConfig::Kind::kHarness;
+  c.lrs.frontend_nodes = frontends;
+  return c;
+}
+
+inline NamedProxyConfig f1() { return full_config("f1", 1, 3); }
+inline NamedProxyConfig f2() { return full_config("f2", 2, 6); }
+inline NamedProxyConfig f3() { return full_config("f3", 3, 9); }
+inline NamedProxyConfig f4() { return full_config("f4", 4, 12); }
+
+}  // namespace pprox::bench

@@ -1,0 +1,71 @@
+// §6.2 reproduction: empirical unlinkability under the flow-correlation
+// adversary. For each (S, instance count) deployment, runs the rank-matching
+// and window attacks over full wire traces and compares the measured guess
+// success to the paper's analytical bounds 1/S, 1/(S*I), 1/(S*U).
+#include <cstdio>
+
+#include "attack/correlation.hpp"
+#include "figure_common.hpp"
+
+using namespace pprox;
+using namespace pprox::attack;
+
+namespace {
+
+std::vector<sim::FlowEvent> trace(int shuffle, int instances, double rps) {
+  sim::ProxyConfig proxy;
+  proxy.shuffle_size = shuffle;
+  proxy.ua_instances = instances;
+  proxy.ia_instances = instances;
+  sim::LrsConfig lrs;  // stub
+  sim::WorkloadConfig workload;
+  workload.rps = rps;
+  workload.duration_ms = 60'000;
+  workload.warmup_ms = 0;
+  workload.cooldown_ms = 0;
+  workload.repetitions = 1;
+  workload.seed = 7;
+  std::vector<sim::FlowEvent> events;
+  sim::run_cluster(proxy, lrs, workload, sim::CostModel{},
+                   [&events](const sim::FlowEvent& e) { events.push_back(e); });
+  return events;
+}
+
+void report(const char* label, const CorrelationResult& result, double bound) {
+  std::printf("  %-34s measured=%6.4f  analytical<=%6.4f  (n=%zu)\n", label,
+              result.success_rate(), bound, result.attempts);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 6.2: empirical unlinkability vs analytical bounds ===\n");
+  SplitMix64 rng(99);
+
+  struct Case {
+    int shuffle;
+    int instances;
+    double rps;
+  };
+  const std::vector<Case> cases = {
+      {0, 1, 100}, {5, 1, 250}, {10, 1, 250}, {10, 2, 500}, {10, 4, 1000}};
+
+  for (const auto& c : cases) {
+    std::printf("\nS=%d, UA=IA=%d, %.0f RPS:\n", c.shuffle, c.instances, c.rps);
+    const auto events = trace(c.shuffle, c.instances, c.rps);
+    const double s = c.shuffle == 0 ? 1.0 : c.shuffle;
+    report("requests, UA vantage (<= 1/S)",
+           link_requests_at_ua(events, rng), 1.0 / s);
+    report("requests, LRS vantage (<= 1/(S*I))",
+           link_requests_at_lrs(events, rng),
+           c.shuffle == 0 ? 1.0 : 1.0 / (s * c.instances));
+    report("responses (<= 1/(S*U))", link_responses(events, rng),
+           c.shuffle == 0 ? 1.0 : 1.0 / (s * c.instances));
+  }
+
+  std::printf("\nLow-traffic limitation (S=10, 1 pair, 3 RPS): shuffling\n"
+              "degrades when the buffer cannot fill before the timer (§6.3):\n");
+  const auto low = trace(10, 1, 3);
+  report("requests, UA vantage", link_requests_at_ua(low, rng), 1.0);
+  return 0;
+}

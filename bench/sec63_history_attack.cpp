@@ -1,0 +1,93 @@
+// §6.3 "History-based attacks" reproduction: an adversary targeting one IP
+// collects, for each of the victim's get requests, the candidate set of S
+// indistinguishable pseudonymized flows. Recurring candidates isolate the
+// victim; the experiment measures how many observations that takes as a
+// function of S and of the decoy population, and shows the paper's
+// mitigation (HTTP redirection hiding client IPs) closing the attack.
+#include <cstdio>
+
+#include "attack/adversary.hpp"
+#include "common/rand.hpp"
+
+using namespace pprox;
+using namespace pprox::attack;
+
+namespace {
+
+/// Simulates the candidate sets an adversary collects: the victim's
+/// pseudonym plus S-1 decoys drawn from `population` concurrent users.
+double rounds_to_identify(int s, int population, SplitMix64& rng,
+                          int max_rounds = 200) {
+  HistoryAttack attack;
+  const std::string victim = "victim-pseudonym";
+  for (int round = 1; round <= max_rounds; ++round) {
+    std::vector<std::string> candidates = {victim};
+    for (int i = 0; i < s - 1; ++i) {
+      candidates.push_back("user-" +
+                           std::to_string(rng.next_below(
+                               static_cast<std::uint64_t>(population))));
+    }
+    attack.observe_round(candidates);
+    if (attack.victim_identified()) return round;
+  }
+  return max_rounds;  // not identified within the horizon
+}
+
+double average_rounds(int s, int population, int trials, SplitMix64& rng) {
+  double total = 0;
+  for (int t = 0; t < trials; ++t) total += rounds_to_identify(s, population, rng);
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  SplitMix64 rng(63);
+  std::printf("=== Section 6.3: history-based attack on a targeted IP ===\n");
+  std::printf("average observations until the victim's pseudonym is isolated\n");
+  std::printf("(%d trials per cell; larger is better for the defender)\n\n", 50);
+
+  std::printf("%-14s", "population");
+  for (const int s : {5, 10, 20, 40}) std::printf("  S=%-6d", s);
+  std::printf("\n");
+  for (const int population : {100, 1'000, 10'000, 100'000}) {
+    std::printf("%-14d", population);
+    for (const int s : {5, 10, 20, 40}) {
+      std::printf("  %-8.1f", average_rounds(s, population, 50, rng));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTakeaways (match the paper's discussion):\n"
+              " * a handful of repeated observations suffices for ANY S —\n"
+              "   shuffling alone cannot protect a heavily-targeted recurring\n"
+              "   user, which is exactly why §6.3 flags this attack;\n"
+              " * counter-intuitively, larger decoy populations make the\n"
+              "   attack FASTER: random decoys almost never recur across\n"
+              "   rounds, so two observations usually isolate the victim;\n"
+              "   only small populations (recurring decoys) buy extra rounds.\n");
+
+  std::printf("\nMitigation (paper §6.3): route get calls through an HTTP\n"
+              "redirection at the application front-end, so every request\n"
+              "carries the application's address. The adversary can no longer\n"
+              "form per-victim candidate sets at all:\n");
+  {
+    // With redirection every observation round mixes ALL concurrent users'
+    // flows — the candidate set is the entire active population, and the
+    // intersection never shrinks below it.
+    HistoryAttack attack;
+    SplitMix64 rng2(99);
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::string> everyone;
+      for (int i = 0; i < 500; ++i) {
+        everyone.push_back("user-" + std::to_string(i));
+      }
+      (void)rng2;
+      attack.observe_round(everyone);
+    }
+    std::printf("  after 50 rounds: %zu surviving candidates (victim %s)\n",
+                attack.surviving_candidates().size(),
+                attack.victim_identified() ? "IDENTIFIED" : "hidden");
+  }
+  return 0;
+}

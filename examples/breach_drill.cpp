@@ -1,0 +1,125 @@
+// Breach drill: walk through the paper's §6.1 adversary cases against a live
+// deployment. The adversary taps every wire, dumps the LRS database, then
+// breaks one enclave layer at a time — and the user-interest link survives
+// until BOTH layers fall (which the threat model excludes).
+//
+//   $ ./breach_drill
+#include <cstdio>
+
+#include "attack/adversary.hpp"
+#include "crypto/drbg.hpp"
+#include "json/json.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/deployment.hpp"
+#include "pprox/rotation.hpp"
+
+using namespace pprox;
+
+namespace {
+
+void report(const char* what, const Result<std::string>& r) {
+  if (r.ok()) {
+    std::printf("    %-38s -> RECOVERED: %s\n", what, r.value().c_str());
+  } else {
+    std::printf("    %-38s -> opaque (%s)\n", what, r.error().message.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  crypto::Drbg rng(to_bytes("breach-drill"));
+  lrs::HarnessServer lrs;
+  DeploymentConfig config;
+  Deployment deployment(config, lrs, rng);
+  ClientLibrary client = deployment.make_client(&rng);
+
+  // The victim's sensitive access, tapped on the wire by the adversary.
+  const std::string victim = "patient-007";
+  const std::string sensitive = "rare-disease-forum";
+  auto request = client.build_post_request(victim, sensitive);
+  attack::InterceptedPost tap;
+  tap.source_address = "198.51.100.7";
+  tap.user_field = *json::get_string_field(request.value().body, "user");
+  tap.item_field = *json::get_string_field(request.value().body, "item");
+
+  std::promise<http::HttpResponse> promise;
+  auto future = promise.get_future();
+  deployment.entry_channel()->send(std::move(request.value()),
+                                   [&promise](http::HttpResponse r) {
+                                     promise.set_value(std::move(r));
+                                   });
+  std::printf("victim's post delivered (HTTP %d); adversary holds the tap and\n"
+              "a full dump of the LRS database.\n\n",
+              future.get().status);
+
+  std::vector<attack::LrsDbRow> database;
+  for (const auto& [u, i] : lrs.dump_events()) database.push_back({u, i});
+
+  attack::Adversary adversary;
+  const auto show_state = [&](const char* phase) {
+    std::printf("%s\n", phase);
+    report("user from intercepted message", adversary.recover_user(tap));
+    report("item from intercepted message", adversary.recover_item(tap));
+    report("user pseudonym in LRS database",
+           adversary.de_pseudonymize_user(database[0]));
+    report("item pseudonym in LRS database",
+           adversary.de_pseudonymize_item(database[0]));
+    const bool linked =
+        adversary.can_link(victim, sensitive, database, {tap});
+    std::printf("    => user-interest link %s\n\n",
+                linked ? "*** BROKEN ***" : "HOLDS");
+  };
+
+  show_state("[phase 0] no enclave breached:");
+
+  // Side-channel attack succeeds against one UA enclave (tens of minutes of
+  // effort in practice — paper §2.3).
+  deployment.ua_enclave(0).breach();
+  adversary.steal_ua_secrets(
+      LayerSecrets::deserialize(
+          deployment.ua_enclave(0).exfiltrate_secrets().value())
+          .value());
+  show_state("[phase 1] UA enclave breached (skUA, kUA stolen):");
+
+  std::printf("breach detected -> operators rotate keys; but suppose the\n"
+              "adversary ALSO breaks the IA layer before countermeasures:\n\n");
+  deployment.ia_enclave(0).breach();
+  adversary.steal_ia_secrets(
+      LayerSecrets::deserialize(
+          deployment.ia_enclave(0).exfiltrate_secrets().value())
+          .value());
+  show_state("[phase 2] both layers breached (outside the threat model):");
+
+  std::printf("conclusion: unlinkability rests exactly on the one-enclave-at-\n"
+              "a-time assumption, as analyzed in the paper's section 6.1.\n\n");
+
+  // Phase 3: detection and recovery. A side-channel attack is slow and
+  // degrades the enclave's performance — the monitor (Varys/Déjà-Vu
+  // stand-in) spots it, and the operator rotates keys: fresh layer secrets,
+  // database re-encrypted, fresh enclaves provisioned.
+  std::printf("[phase 3] detection and recovery:\n");
+  BreachMonitor monitor(2.0, 16, 8);
+  for (int i = 0; i < 16; ++i) monitor.record("ua-0", 1.1);   // calm baseline
+  for (int i = 0; i < 8; ++i) monitor.record("ua-0", 6.4);    // attack running
+  std::printf("    monitor: baseline %.1f ms/ecall, attack suspected: %s\n",
+              monitor.baseline_ms("ua-0"),
+              monitor.attack_suspected("ua-0") ? "YES" : "no");
+
+  const auto rotation = rotate_keys(deployment.application_keys(), lrs, rng);
+  if (!rotation.ok()) {
+    std::printf("    rotation failed: %s\n", rotation.error().message.c_str());
+    return 1;
+  }
+  std::printf("    rotated keys; %zu database rows re-encrypted\n",
+              rotation.value().rows_reencrypted);
+
+  // The adversary still holds ALL the old secrets — now worthless.
+  std::vector<attack::LrsDbRow> rotated_db;
+  for (const auto& [u, i] : lrs.dump_events()) rotated_db.push_back({u, i});
+  const bool still_linked =
+      adversary.can_link(victim, sensitive, rotated_db, {});
+  std::printf("    old stolen secrets vs rotated database: link %s\n",
+              still_linked ? "*** STILL BROKEN ***" : "RESTORED (loot useless)");
+  return still_linked ? 1 : 0;
+}

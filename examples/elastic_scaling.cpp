@@ -1,0 +1,76 @@
+// Elastic scaling demo: drive a live in-process deployment with the
+// open-loop injector at increasing request rates, watch per-configuration
+// latency, and apply the capacity advisor (paper §5 "Horizontal scaling" /
+// §8.1.2) to choose the instance count for each load level.
+//
+//   $ ./elastic_scaling
+#include <cstdio>
+
+#include "crypto/drbg.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/deployment.hpp"
+#include "workload/injector.hpp"
+
+using namespace pprox;
+
+namespace {
+
+workload::InjectionReport drive(Deployment& deployment, ClientLibrary& client,
+                                double rps) {
+  workload::InjectorConfig config;
+  config.rps = rps;
+  config.duration = std::chrono::milliseconds(2'000);
+  config.warmup = std::chrono::milliseconds(400);
+  config.cooldown = std::chrono::milliseconds(200);
+  std::uint64_t n = 0;
+  return workload::run_injection(
+      *deployment.entry_channel(), config, [&client, &n]() {
+        // Pre-encrypted post requests from a rotating user population.
+        const std::string user = "user-" + std::to_string(n % 97);
+        const std::string item = "item-" + std::to_string(n++ % 211);
+        return client.build_post_request(user, item).value();
+      });
+}
+
+}  // namespace
+
+int main() {
+  crypto::Drbg rng(to_bytes("elastic-demo"));
+  std::printf("%-8s %-6s %10s %10s %10s %10s  %s\n", "target", "pairs", "sent",
+              "ok", "med(ms)", "p95(ms)", "advisor");
+
+  // Calibration: measured per-pair capacity on this machine (real crypto,
+  // real threads; the whole pipeline shares this host's cores, so the figure
+  // is far below the paper's 250 rps per dedicated 4-core pair).
+  const double per_pair_capacity = 110;
+
+  for (const double rps : {25.0, 60.0, 100.0}) {
+    const int pairs = recommend_instance_pairs(rps, per_pair_capacity);
+
+    lrs::HarnessServer lrs;
+    DeploymentConfig config;
+    config.ua_instances = pairs;
+    config.ia_instances = pairs;
+    config.shuffle_size = 8;
+    config.shuffle_timeout = std::chrono::milliseconds(150);
+    Deployment deployment(config, lrs, rng);
+    ClientLibrary client = deployment.make_client(&rng);
+
+    const auto report = drive(deployment, client, rps);
+    const double med = report.latencies_ms.empty()
+                           ? 0
+                           : report.latencies_ms.percentile(50);
+    const double p95 = report.latencies_ms.empty()
+                           ? 0
+                           : report.latencies_ms.percentile(95);
+    const int next = recommend_instance_pairs(rps * 2, per_pair_capacity);
+    std::printf("%-8.0f %-6d %10zu %10zu %10.1f %10.1f  2x load -> %d pairs\n",
+                rps, pairs, report.injected,
+                report.completed - report.failed, med, p95, next);
+  }
+
+  std::printf("\nThe advisor mirrors the paper's observation: each proxy pair\n"
+              "adds a fixed capacity increment, and over-provisioning hurts\n"
+              "latency under shuffling (scale down when traffic drops).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: stand up a complete PProx deployment in-process — attestation
+// authority, two enclave layers, proxy instances, a Harness-like LRS — then
+// insert feedback and collect recommendations through the privacy proxy.
+//
+//   $ ./quickstart
+//
+// Everything a RaaS integration needs is in this file:
+//   1. generate application keys (client side, never given to the provider)
+//   2. boot + attest + provision enclaves (Deployment does the handshake)
+//   3. use ClientLibrary exactly like the LRS REST API.
+#include <cstdio>
+
+#include "crypto/drbg.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/deployment.hpp"
+
+int main() {
+  using namespace pprox;
+  crypto::Drbg rng(to_bytes("quickstart-example"));
+
+  // The legacy recommendation system, completely unmodified by PProx.
+  lrs::HarnessServer lrs;
+
+  // One UA + one IA instance, shuffling with S=4 for this tiny demo.
+  DeploymentConfig config;
+  config.shuffle_size = 4;
+  config.shuffle_timeout = std::chrono::milliseconds(50);
+  Deployment deployment(config, lrs, rng);
+  std::printf("deployment up: %zu UA + %zu IA enclaves attested & provisioned\n",
+              deployment.ua_count(), deployment.ia_count());
+
+  // The user-side library: same API surface as the LRS.
+  ClientLibrary client = deployment.make_client(&rng);
+
+  // Users interact with the application; feedback flows through PProx.
+  struct Row {
+    const char* user;
+    const char* item;
+  };
+  const Row feedback[] = {
+      {"ada", "the-matrix"},   {"ada", "blade-runner"},
+      {"grace", "the-matrix"}, {"grace", "blade-runner"},
+      {"alan", "the-matrix"},  {"linus", "free-solo"},
+  };
+  for (const auto& [user, item] : feedback) {
+    const Status s = client.post_sync(user, item);
+    std::printf("post(%s, %s) -> %s\n", user, item, s.ok() ? "ok" : "FAILED");
+  }
+
+  // What the RaaS provider actually stores: pseudonyms only.
+  std::printf("\nLRS database sample (what the provider sees):\n");
+  int shown = 0;
+  for (const auto& [user, item] : lrs.dump_events()) {
+    if (shown++ == 3) break;
+    std::printf("  user=%.20s... item=%.20s...\n", user.c_str(), item.c_str());
+  }
+
+  // Batch model training (the Spark stand-in).
+  const std::size_t indexed = lrs.train();
+  std::printf("\ntrained CCO model over %zu events -> %zu items indexed\n",
+              lrs.event_count(), indexed);
+
+  // Recommendations come back decrypted and de-pseudonymized.
+  const auto recs = client.get_sync("alan");
+  if (!recs.ok()) {
+    std::printf("get(alan) failed: %s\n", recs.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nget(alan) -> %zu recommendation(s):\n", recs.value().size());
+  for (const auto& item : recs.value()) {
+    std::printf("  %s\n", item.c_str());
+  }
+  std::printf("\n(alan liked the-matrix; ada and grace co-liked blade-runner)\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "attack/correlation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pprox::attack {
+namespace {
+
+using sim::FlowEvent;
+using sim::FlowPoint;
+
+std::vector<FlowEvent> select(const std::vector<FlowEvent>& events,
+                              FlowPoint point) {
+  std::vector<FlowEvent> out;
+  for (const auto& e : events) {
+    if (e.point == point) out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlowEvent& a, const FlowEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+/// Picks uniformly among [first, last) and scores against `target_id`.
+void guess(const std::vector<FlowEvent>& candidates, std::size_t first,
+           std::size_t last, std::uint64_t target_id, RandomSource& rng,
+           CorrelationResult& result) {
+  const std::size_t n = last - first;
+  if (n == 0) return;
+  ++result.attempts;
+  result.mean_candidates += static_cast<double>(n);
+  const std::size_t pick = first + rng.next_below(n);
+  if (candidates[pick].request_id == target_id) ++result.correct;
+}
+
+std::size_t lower_bound_time(const std::vector<FlowEvent>& events, double t) {
+  return static_cast<std::size_t>(
+      std::lower_bound(events.begin(), events.end(), t,
+                       [](const FlowEvent& e, double value) {
+                         return e.time < value;
+                       }) -
+      events.begin());
+}
+
+void finalize(CorrelationResult& result) {
+  if (result.attempts > 0) {
+    result.mean_candidates /= static_cast<double>(result.attempts);
+  }
+}
+
+}  // namespace
+
+CorrelationResult link_requests_at_ua(const std::vector<FlowEvent>& events,
+                                      RandomSource& rng) {
+  (void)rng;
+  // Rank-matching attack per UA instance: the proxy serves requests FIFO
+  // (epoll order -> queue -> workers), so without shuffling the k-th inbound
+  // packet is the k-th outbound packet. Shuffling permutes ranks within each
+  // batch of S; a random permutation has one expected fixed point per batch,
+  // capping the adversary's success at ~1/S (paper §6.2).
+  std::map<int, std::vector<FlowEvent>> inbound, outbound;
+  for (const auto& e : select(events, FlowPoint::kClientToUa)) {
+    inbound[e.to_instance].push_back(e);
+  }
+  for (const auto& e : select(events, FlowPoint::kUaToIa)) {
+    outbound[e.from_instance].push_back(e);
+  }
+
+  CorrelationResult result;
+  for (const auto& [instance, in] : inbound) {
+    const auto it = outbound.find(instance);
+    if (it == outbound.end()) continue;
+    const auto& out = it->second;
+    const std::size_t n = std::min(in.size(), out.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      ++result.attempts;
+      result.mean_candidates += 1.0;
+      if (in[k].request_id == out[k].request_id) ++result.correct;
+    }
+  }
+  finalize(result);
+  return result;
+}
+
+CorrelationResult link_requests_at_lrs(const std::vector<FlowEvent>& events,
+                                       RandomSource& rng, double window_ms) {
+  const auto inbound = select(events, FlowPoint::kClientToUa);
+  const auto at_lrs = select(events, FlowPoint::kIaToLrs);
+
+  CorrelationResult result;
+  for (const auto& target : inbound) {
+    const std::size_t first = lower_bound_time(at_lrs, target.time);
+    if (first == at_lrs.size()) continue;
+    const double horizon = at_lrs[first].time + window_ms;
+    std::size_t last = first;
+    while (last < at_lrs.size() && at_lrs[last].time <= horizon) ++last;
+    guess(at_lrs, first, last, target.request_id, rng, result);
+  }
+  finalize(result);
+  return result;
+}
+
+CorrelationResult link_responses(const std::vector<FlowEvent>& events,
+                                 RandomSource& rng, double window_ms) {
+  (void)rng;
+  (void)window_ms;
+  // Rank-matching attack: the return path is FIFO when unshuffled, so the
+  // k-th response leaving the LRS is (almost) the k-th packet delivered to a
+  // client. Shuffling at the IA layer permutes ranks within each batch of S
+  // (across U interleaved UA output streams), collapsing the success rate.
+  const auto from_lrs = select(events, FlowPoint::kLrsToIa);
+  const auto to_client = select(events, FlowPoint::kUaToClient);
+
+  CorrelationResult result;
+  const std::size_t n = std::min(from_lrs.size(), to_client.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    ++result.attempts;
+    result.mean_candidates += 1.0;
+    if (from_lrs[k].request_id == to_client[k].request_id) ++result.correct;
+  }
+  finalize(result);
+  return result;
+}
+
+}  // namespace pprox::attack

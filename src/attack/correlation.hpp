@@ -1,0 +1,45 @@
+// Flow-correlation attack over wire observations (paper §4.3, analyzed in
+// §6.2): the adversary timestamps every encrypted, constant-size packet at
+// each vantage point and tries to match an inbound client request to the
+// corresponding message reaching the LRS (and a response leaving the LRS to
+// the client that receives it). Shuffling bounds its success at 1/(S*I) for
+// requests and 1/(S*U) for responses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "sim/cluster.hpp"
+
+namespace pprox::attack {
+
+struct CorrelationResult {
+  std::size_t attempts = 0;
+  std::size_t correct = 0;
+  double success_rate() const {
+    return attempts == 0 ? 0.0 : static_cast<double>(correct) / attempts;
+  }
+  double mean_candidates = 0;  ///< average ambiguity-set size
+};
+
+/// Request-path attack at the UA->IA vantage point: for each observed
+/// client->UA packet, the adversary picks its guess among the UA instance's
+/// next outbound batch (simultaneous, indistinguishable messages).
+/// No shuffling => batches of one => near-certain success.
+CorrelationResult link_requests_at_ua(const std::vector<sim::FlowEvent>& events,
+                                      RandomSource& rng);
+
+/// Request-path attack at the IA->LRS vantage point: the UA batch additionally
+/// spreads over all IA instances whose outputs interleave; candidates are all
+/// IA->LRS packets in the dispersion window. Expected success ~ 1/(S*I).
+CorrelationResult link_requests_at_lrs(const std::vector<sim::FlowEvent>& events,
+                                       RandomSource& rng,
+                                       double window_ms = 40.0);
+
+/// Response-path attack: match an LRS->IA response to the UA->client packet
+/// delivering it. Expected success ~ 1/(S*U).
+CorrelationResult link_responses(const std::vector<sim::FlowEvent>& events,
+                                 RandomSource& rng, double window_ms = 40.0);
+
+}  // namespace pprox::attack

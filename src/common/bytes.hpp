@@ -1,0 +1,68 @@
+// Basic byte-buffer vocabulary types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pprox {
+
+/// Owning byte buffer. All binary payloads (keys, ciphertexts, packets) use
+/// this type; views over it use ByteView.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over contiguous bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Non-owning mutable view over contiguous bytes.
+using MutByteView = std::span<std::uint8_t>;
+
+/// Copies a string's characters into a fresh byte buffer.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte view as text. The bytes are copied.
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Constant-time equality, for comparing secrets without leaking a
+/// length-of-matching-prefix timing signal.
+inline bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenates any number of byte views.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  out.reserve((views.size() + ...));
+  (append(out, ByteView(views)), ...);
+  return out;
+}
+
+/// XORs `src` into `dst` element-wise; sizes must match.
+inline void xor_into(MutByteView dst, ByteView src) {
+  for (std::size_t i = 0; i < dst.size() && i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+/// Best-effort zeroization for key material. The volatile pointer prevents
+/// the compiler from eliding the wipe of a dying buffer.
+inline void secure_wipe(MutByteView b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+}
+
+}  // namespace pprox

@@ -1,0 +1,113 @@
+#include "common/encoding.hpp"
+
+#include <array>
+
+namespace pprox {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+// 256-entry reverse table; 0xFF marks invalid, 0xFE marks '='.
+constexpr std::array<std::uint8_t, 256> make_b64_reverse() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = 0xFF;
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    t[static_cast<unsigned char>(kB64Alphabet[i])] = i;
+  }
+  t[static_cast<unsigned char>('=')] = 0xFE;
+  return t;
+}
+
+constexpr auto kB64Reverse = make_b64_reverse();
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(ByteView data) {
+  std::string out;
+  out.reserve(((data.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[n & 63]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = data[i] << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve((text.size() / 4) * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    std::uint8_t v[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      v[j] = kB64Reverse[static_cast<unsigned char>(text[i + j])];
+      if (v[j] == 0xFF) return std::nullopt;
+      if (v[j] == 0xFE) {
+        // '=' only allowed in the last group, positions 2 and/or 3.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        ++pad;
+        v[j] = 0;
+      } else if (pad > 0) {
+        return std::nullopt;  // data after padding
+      }
+    }
+    const std::uint32_t n = (v[0] << 18) | (v[1] << 12) | (v[2] << 6) | v[3];
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n));
+  }
+  return out;
+}
+
+}  // namespace pprox

@@ -1,0 +1,25 @@
+// Hex and base64 codecs. PProx transports all encrypted content base64-encoded
+// inside JSON payloads (paper §5), so the base64 codec sits on the hot path.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace pprox {
+
+/// Lower-case hex encoding of a byte view.
+std::string hex_encode(ByteView data);
+
+/// Decodes lower/upper-case hex. Returns nullopt on odd length or bad digit.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// Standard base64 (RFC 4648) with '=' padding.
+std::string base64_encode(ByteView data);
+
+/// Decodes standard base64; whitespace is not tolerated. Returns nullopt on
+/// malformed input (bad character, bad padding, truncated group).
+std::optional<Bytes> base64_decode(std::string_view text);
+
+}  // namespace pprox

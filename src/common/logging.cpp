@@ -1,0 +1,51 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/result.hpp"
+
+namespace pprox {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+const char* to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInvalidArgument: return "invalid_argument";
+    case Error::Code::kParseError: return "parse_error";
+    case Error::Code::kCryptoError: return "crypto_error";
+    case Error::Code::kNotFound: return "not_found";
+    case Error::Code::kPermissionDenied: return "permission_denied";
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace pprox

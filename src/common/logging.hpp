@@ -1,0 +1,36 @@
+// Minimal leveled logger. Single global sink, safe for concurrent use.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pprox {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn so tests/benches stay quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Streams one log line at `level`; evaluates arguments lazily.
+#define PPROX_LOG(level, expr)                              \
+  do {                                                      \
+    if (static_cast<int>(level) >=                          \
+        static_cast<int>(::pprox::log_level())) {           \
+      std::ostringstream oss_;                              \
+      oss_ << expr;                                         \
+      ::pprox::detail::log_line((level), oss_.str());       \
+    }                                                       \
+  } while (0)
+
+#define LOG_DEBUG(expr) PPROX_LOG(::pprox::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) PPROX_LOG(::pprox::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) PPROX_LOG(::pprox::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) PPROX_LOG(::pprox::LogLevel::kError, expr)
+
+}  // namespace pprox

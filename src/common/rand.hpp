@@ -1,0 +1,92 @@
+// Deterministic PRNG streams for simulation and tests, and an interface the
+// crypto DRBG implements for key/IV generation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+
+namespace pprox {
+
+/// Interface for sources of random bytes. The crypto module provides a
+/// ChaCha20-based DRBG; the simulator uses seeded deterministic streams.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(MutByteView out) = 0;
+
+  /// Returns a uniformly random 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint8_t buf[8];
+    fill(MutByteView(buf, 8));
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+    return v;
+  }
+
+  /// Unbiased uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling over the top of the range to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        (std::numeric_limits<std::uint64_t>::max() % bound);
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+};
+
+/// SplitMix64: tiny, fast, well-distributed PRNG. Not cryptographic; used for
+/// simulation streams, workload generation, and shuffling *tests* only.
+class SplitMix64 final : public RandomSource {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  void fill(MutByteView out) override {
+    std::size_t i = 0;
+    while (i < out.size()) {
+      std::uint64_t v = next();
+      for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+        out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+      }
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fisher–Yates shuffle driven by any RandomSource.
+template <typename Container>
+void shuffle(Container& c, RandomSource& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace pprox

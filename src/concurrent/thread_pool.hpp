@@ -1,0 +1,102 @@
+// Worker thread pool draining an MpmcQueue of tasks. Models the paper's
+// in-enclave data-processing pool (§5): the server thread enqueues parsed
+// packets, workers perform crypto and forwarding.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrent/mpmc_queue.hpp"
+
+namespace pprox::concurrent {
+
+/// Fixed-size pool executing std::function<void()> tasks in FIFO-ish order.
+/// submit() blocks only when the bounded queue is full (backpressure).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads, std::size_t queue_capacity = 4096)
+      : queue_(queue_capacity) {
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() { shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; spins briefly then sleeps when the queue is full.
+  /// Returns false after shutdown() (task is dropped).
+  bool submit(std::function<void()> task) {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      if (queue_.try_push(std::move(task))) {
+        pending_.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> lock(mutex_);
+        cv_.notify_one();
+        return true;
+      }
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+  /// Blocks until every submitted task has finished executing.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// Stops accepting tasks, finishes queued work, joins all workers.
+  void shutdown() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      auto task = queue_.try_pop();
+      if (task.has_value()) {
+        (*task)();
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          drained_cv_.notify_all();
+        }
+        continue;
+      }
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               queue_.approx_size() > 0;
+      });
+    }
+  }
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+};
+
+}  // namespace pprox::concurrent

@@ -1,0 +1,37 @@
+// AES block cipher (FIPS 197), 128- and 256-bit keys. PProx uses AES-256 in
+// CTR mode: constant IV for deterministic pseudonymization of user/item
+// identifiers, random IV for the per-request response encryption (paper §4.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace pprox::crypto {
+
+/// AES block cipher with a fixed key. Encrypt-only is enough for CTR mode,
+/// but the decrypt direction is provided for completeness and tests.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// key must be 16 (AES-128) or 32 (AES-256) bytes.
+  explicit Aes(ByteView key);
+
+  std::size_t key_size() const { return key_size_; }
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(std::uint8_t block[kBlockSize]) const;
+
+ private:
+  std::size_t key_size_;
+  int rounds_;
+  // Max 15 round keys of 16 bytes for AES-256.
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+}  // namespace pprox::crypto

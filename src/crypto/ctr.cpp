@@ -1,0 +1,75 @@
+#include "crypto/ctr.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pprox::crypto {
+namespace {
+
+// Big-endian increment of the 16-byte counter block.
+void increment_counter(std::uint8_t counter[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+}  // namespace
+
+Bytes ctr_crypt(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
+                ByteView data) {
+  Bytes out(data.begin(), data.end());
+  std::uint8_t counter[16];
+  std::memcpy(counter, iv.data(), 16);
+  std::uint8_t keystream[16];
+  for (std::size_t offset = 0; offset < out.size(); offset += 16) {
+    std::memcpy(keystream, counter, 16);
+    cipher.encrypt_block(keystream);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
+    increment_counter(counter);
+  }
+  return out;
+}
+
+DeterministicCipher::DeterministicCipher(ByteView key) : aes_(key) {
+  if (key.size() != 32) {
+    throw std::invalid_argument("DeterministicCipher requires an AES-256 key");
+  }
+}
+
+Bytes DeterministicCipher::encrypt(ByteView plaintext) const {
+  static constexpr std::array<std::uint8_t, 16> kZeroIv{};
+  return ctr_crypt(aes_, kZeroIv, plaintext);
+}
+
+Bytes DeterministicCipher::decrypt(ByteView ciphertext) const {
+  return encrypt(ciphertext);  // CTR is an involution for a fixed IV.
+}
+
+RandomIvCipher::RandomIvCipher(ByteView key) : aes_(key) {
+  if (key.size() != 32) {
+    throw std::invalid_argument("RandomIvCipher requires an AES-256 key");
+  }
+}
+
+Bytes RandomIvCipher::encrypt(ByteView plaintext, RandomSource& rng) const {
+  std::array<std::uint8_t, 16> iv;
+  rng.fill(MutByteView(iv.data(), iv.size()));
+  Bytes body = ctr_crypt(aes_, iv, plaintext);
+  Bytes out;
+  out.reserve(16 + body.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<Bytes> RandomIvCipher::decrypt(ByteView iv_and_ciphertext) const {
+  if (iv_and_ciphertext.size() < 16) {
+    return Error::crypto("ciphertext shorter than IV");
+  }
+  std::array<std::uint8_t, 16> iv;
+  std::memcpy(iv.data(), iv_and_ciphertext.data(), 16);
+  return ctr_crypt(aes_, iv, iv_and_ciphertext.subspan(16));
+}
+
+}  // namespace pprox::crypto

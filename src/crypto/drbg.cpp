@@ -1,0 +1,116 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/sha256.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+constexpr std::uint64_t kRekeyInterval = 1 << 20;  // 1 MiB between rekeys
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::uint8_t out[64]) {
+  std::uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      key[0], key[1], key[2], key[3],
+      key[4], key[5], key[6], key[7],
+      counter, nonce[0], nonce[1], nonce[2]};
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+Drbg::Drbg() {
+  std::random_device rd;
+  Bytes seed(48);
+  for (std::size_t i = 0; i < seed.size(); i += 4) {
+    const std::uint32_t v = rd();
+    std::memcpy(seed.data() + i, &v, std::min<std::size_t>(4, seed.size() - i));
+  }
+  reseed(seed);
+}
+
+Drbg::Drbg(ByteView seed) { reseed(seed); }
+
+void Drbg::reseed(ByteView seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // key' = SHA256(key || seed): mixes new entropy without discarding old.
+  Bytes material(reinterpret_cast<const std::uint8_t*>(key_.data()),
+                 reinterpret_cast<const std::uint8_t*>(key_.data()) + 32);
+  append(material, seed);
+  const auto digest = Sha256::digest(material);
+  std::memcpy(key_.data(), digest.data(), 32);
+  counter_ = 0;
+  block_pos_ = 64;
+  bytes_since_rekey_ = 0;
+}
+
+void Drbg::refill_locked() {
+  chacha20_block(key_, counter_++, nonce_, block_.data());
+  block_pos_ = 0;
+}
+
+void Drbg::rekey_locked() {
+  // Fast key erasure: draw a fresh key from the keystream so earlier output
+  // cannot be reconstructed from a later state compromise.
+  std::uint8_t fresh[64];
+  chacha20_block(key_, counter_++, nonce_, fresh);
+  std::memcpy(key_.data(), fresh, 32);
+  counter_ = 0;
+  ++nonce_[0];
+  bytes_since_rekey_ = 0;
+  secure_wipe(MutByteView(fresh, sizeof(fresh)));
+}
+
+void Drbg::fill(MutByteView out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (block_pos_ == 64) {
+      if (bytes_since_rekey_ >= kRekeyInterval) rekey_locked();
+      refill_locked();
+    }
+    out[i] = block_[block_pos_++];
+    ++bytes_since_rekey_;
+  }
+}
+
+Drbg& global_drbg() {
+  static Drbg drbg;
+  return drbg;
+}
+
+}  // namespace pprox::crypto

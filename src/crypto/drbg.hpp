@@ -1,0 +1,51 @@
+// ChaCha20-based deterministic random bit generator. Seeded from the OS
+// entropy pool in production use; seedable explicitly for reproducible tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "common/rand.hpp"
+
+namespace pprox::crypto {
+
+/// Raw ChaCha20 block function (RFC 8439). Exposed for tests.
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::uint8_t out[64]);
+
+/// Cryptographic PRNG: ChaCha20 keystream with periodic rekeying
+/// (fast-key-erasure construction). Thread-safe.
+class Drbg final : public RandomSource {
+ public:
+  /// Seeds from the OS entropy source.
+  Drbg();
+
+  /// Deterministic seeding for reproducible tests and simulations.
+  explicit Drbg(ByteView seed);
+
+  void fill(MutByteView out) override;
+
+  /// Mixes extra entropy into the state.
+  void reseed(ByteView seed);
+
+ private:
+  void refill_locked();
+  void rekey_locked();
+
+  std::mutex mutex_;
+  std::array<std::uint32_t, 8> key_{};
+  std::array<std::uint32_t, 3> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t block_pos_ = 64;  // empty
+  std::uint64_t bytes_since_rekey_ = 0;
+};
+
+/// Process-wide DRBG for key and IV generation.
+Drbg& global_drbg();
+
+}  // namespace pprox::crypto

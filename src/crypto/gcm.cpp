@@ -1,0 +1,151 @@
+#include "crypto/gcm.hpp"
+
+#include <cstring>
+
+namespace pprox::crypto {
+namespace {
+
+// Increments the low 32 bits of a counter block (big-endian), as GCM's CTR
+// variant requires.
+void inc32(std::uint8_t block[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++block[i] != 0) break;
+  }
+}
+
+void put_u64_be(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+}  // namespace
+
+void gf128_mul(std::uint8_t x[16], const std::uint8_t y[16]) {
+  // Bitwise multiply in GF(2^128) with the GCM polynomial
+  // x^128 + x^7 + x^2 + x + 1; "rightmost" bit convention per SP 800-38D.
+  std::uint8_t z[16] = {};
+  std::uint8_t v[16];
+  std::memcpy(v, y, 16);
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i / 8;
+    const int bit = 7 - (i % 8);
+    if ((x[byte] >> bit) & 1) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    // v = v >> 1 (in the bit-reflected representation), with reduction.
+    const bool lsb = v[15] & 1;
+    for (int j = 15; j > 0; --j) {
+      v[j] = static_cast<std::uint8_t>((v[j] >> 1) | ((v[j - 1] & 1) << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xE1;  // reduction by the GCM polynomial
+  }
+  std::memcpy(x, z, 16);
+}
+
+AesGcm::AesGcm(ByteView key) : aes_(key) {
+  std::uint8_t zero[16] = {};
+  aes_.encrypt_block(zero);
+  std::memcpy(h_.data(), zero, 16);
+}
+
+AesGcm::Block AesGcm::ghash(ByteView associated_data, ByteView ciphertext) const {
+  Block y{};
+  const auto absorb = [this, &y](ByteView data) {
+    for (std::size_t offset = 0; offset < data.size(); offset += 16) {
+      const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+      for (std::size_t i = 0; i < n; ++i) y[i] ^= data[offset + i];
+      gf128_mul(y.data(), h_.data());
+    }
+  };
+  absorb(associated_data);
+  absorb(ciphertext);
+  // Length block: bit lengths of AAD and ciphertext.
+  std::uint8_t lengths[16];
+  put_u64_be(lengths, static_cast<std::uint64_t>(associated_data.size()) * 8);
+  put_u64_be(lengths + 8, static_cast<std::uint64_t>(ciphertext.size()) * 8);
+  for (int i = 0; i < 16; ++i) y[static_cast<std::size_t>(i)] ^= lengths[i];
+  gf128_mul(y.data(), h_.data());
+  return y;
+}
+
+void AesGcm::ctr32_crypt(const Block& j0, ByteView in, Bytes& out) const {
+  std::uint8_t counter[16];
+  std::memcpy(counter, j0.data(), 16);
+  std::uint8_t keystream[16];
+  for (std::size_t offset = 0; offset < in.size(); offset += 16) {
+    inc32(counter);
+    std::memcpy(keystream, counter, 16);
+    aes_.encrypt_block(keystream);
+    const std::size_t n = std::min<std::size_t>(16, in.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(in[offset + i] ^ keystream[i]);
+    }
+  }
+}
+
+Bytes AesGcm::seal(const std::array<std::uint8_t, kNonceSize>& nonce,
+                   ByteView plaintext, ByteView associated_data) const {
+  // 96-bit nonce: J0 = nonce || 0x00000001.
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  Bytes out;
+  out.reserve(plaintext.size() + kTagSize);
+  ctr32_crypt(j0, plaintext, out);
+
+  Block s = ghash(associated_data, out);
+  std::uint8_t tag[16];
+  std::memcpy(tag, j0.data(), 16);
+  aes_.encrypt_block(tag);  // E_K(J0)
+  for (int i = 0; i < 16; ++i) tag[i] ^= s[static_cast<std::size_t>(i)];
+  out.insert(out.end(), tag, tag + kTagSize);
+  return out;
+}
+
+Result<Bytes> AesGcm::open(const std::array<std::uint8_t, kNonceSize>& nonce,
+                           ByteView sealed, ByteView associated_data) const {
+  if (sealed.size() < kTagSize) return Error::crypto("GCM: message too short");
+  const ByteView ciphertext = sealed.first(sealed.size() - kTagSize);
+  const ByteView tag = sealed.last(kTagSize);
+
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  Block s = ghash(associated_data, ciphertext);
+  std::uint8_t expected[16];
+  std::memcpy(expected, j0.data(), 16);
+  aes_.encrypt_block(expected);
+  for (int i = 0; i < 16; ++i) expected[i] ^= s[static_cast<std::size_t>(i)];
+  if (!ct_equal(ByteView(expected, kTagSize), tag)) {
+    return Error::crypto("GCM: authentication failed");
+  }
+
+  Bytes plaintext;
+  plaintext.reserve(ciphertext.size());
+  ctr32_crypt(j0, ciphertext, plaintext);
+  return plaintext;
+}
+
+Bytes AesGcm::seal_with_random_nonce(ByteView plaintext, RandomSource& rng,
+                                     ByteView associated_data) const {
+  std::array<std::uint8_t, kNonceSize> nonce;
+  rng.fill(MutByteView(nonce.data(), nonce.size()));
+  Bytes out(nonce.begin(), nonce.end());
+  const Bytes sealed = seal(nonce, plaintext, associated_data);
+  append(out, sealed);
+  return out;
+}
+
+Result<Bytes> AesGcm::open_with_nonce(ByteView nonce_and_sealed,
+                                      ByteView associated_data) const {
+  if (nonce_and_sealed.size() < kNonceSize + kTagSize) {
+    return Error::crypto("GCM: message too short");
+  }
+  std::array<std::uint8_t, kNonceSize> nonce;
+  std::memcpy(nonce.data(), nonce_and_sealed.data(), kNonceSize);
+  return open(nonce, nonce_and_sealed.subspan(kNonceSize), associated_data);
+}
+
+}  // namespace pprox::crypto

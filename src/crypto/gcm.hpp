@@ -1,0 +1,54 @@
+// AES-256-GCM authenticated encryption (NIST SP 800-38D). The paper's
+// response protection uses plain AES-CTR under k_u; GCM is the hardened
+// option (offered by SGX-SSL) that additionally detects tampering by the
+// untrusted server part or a man-in-the-middle between layers. PProx can be
+// configured to use it for get-response payloads.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+#include "common/rand.hpp"
+#include "common/result.hpp"
+#include "crypto/aes.hpp"
+
+namespace pprox::crypto {
+
+/// AEAD seal/open with AES-256-GCM, 12-byte nonces, 16-byte tags.
+class AesGcm {
+ public:
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  /// key must be 16 or 32 bytes.
+  explicit AesGcm(ByteView key);
+
+  /// Encrypts and authenticates. Output: ciphertext || tag.
+  Bytes seal(const std::array<std::uint8_t, kNonceSize>& nonce,
+             ByteView plaintext, ByteView associated_data = {}) const;
+
+  /// Verifies and decrypts ciphertext || tag; error on authentication
+  /// failure (nothing is released in that case).
+  Result<Bytes> open(const std::array<std::uint8_t, kNonceSize>& nonce,
+                     ByteView sealed, ByteView associated_data = {}) const;
+
+  /// Convenience: random nonce prepended to the sealed message.
+  Bytes seal_with_random_nonce(ByteView plaintext, RandomSource& rng,
+                               ByteView associated_data = {}) const;
+  Result<Bytes> open_with_nonce(ByteView nonce_and_sealed,
+                                ByteView associated_data = {}) const;
+
+ private:
+  using Block = std::array<std::uint8_t, 16>;
+
+  Block ghash(ByteView associated_data, ByteView ciphertext) const;
+  void ctr32_crypt(const Block& j0, ByteView in, Bytes& out) const;
+
+  Aes aes_;
+  Block h_{};  // GHASH key: AES_K(0^128)
+};
+
+/// Carry-less GF(2^128) multiply used by GHASH (exposed for tests).
+void gf128_mul(std::uint8_t x[16], const std::uint8_t y[16]);
+
+}  // namespace pprox::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hybrid.hpp"
+
+#include "crypto/ctr.hpp"
+
+namespace pprox::crypto {
+
+Result<Bytes> hybrid_encrypt(const RsaPublicKey& key, ByteView plaintext,
+                             RandomSource& rng) {
+  const Bytes session_key = rng.bytes(32);
+  auto wrapped = rsa_encrypt_oaep(key, session_key, rng);
+  if (!wrapped.ok()) return wrapped.error();
+
+  const RandomIvCipher body_cipher(session_key);
+  const Bytes body = body_cipher.encrypt(plaintext, rng);
+
+  Bytes out;
+  out.reserve(2 + wrapped.value().size() + body.size());
+  out.push_back(static_cast<std::uint8_t>(wrapped.value().size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(wrapped.value().size()));
+  append(out, wrapped.value());
+  append(out, body);
+  return out;
+}
+
+Result<Bytes> hybrid_decrypt(const RsaPrivateKey& key, ByteView blob) {
+  if (blob.size() < 2) return Error::crypto("hybrid: blob too short");
+  const std::size_t wrapped_len =
+      (static_cast<std::size_t>(blob[0]) << 8) | blob[1];
+  if (blob.size() < 2 + wrapped_len + 16) {
+    return Error::crypto("hybrid: truncated blob");
+  }
+  auto session_key = rsa_decrypt_oaep(key, blob.subspan(2, wrapped_len));
+  if (!session_key.ok()) return session_key.error();
+  if (session_key.value().size() != 32) {
+    return Error::crypto("hybrid: bad session key length");
+  }
+  const RandomIvCipher body_cipher(session_key.value());
+  return body_cipher.decrypt(blob.subspan(2 + wrapped_len));
+}
+
+}  // namespace pprox::crypto

@@ -1,0 +1,19 @@
+// Hybrid public-key encryption: RSA-OAEP wraps a fresh AES-256 key, AES-CTR
+// (random IV) carries the body. Used to provision layer secrets into
+// attested enclaves, where the payload exceeds one RSA block.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rand.hpp"
+#include "common/result.hpp"
+#include "crypto/rsa.hpp"
+
+namespace pprox::crypto {
+
+/// Output layout: [2-byte big-endian wrapped-key length][wrapped key][IV || body].
+Result<Bytes> hybrid_encrypt(const RsaPublicKey& key, ByteView plaintext,
+                             RandomSource& rng);
+
+Result<Bytes> hybrid_decrypt(const RsaPrivateKey& key, ByteView blob);
+
+}  // namespace pprox::crypto

@@ -1,0 +1,76 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+
+namespace pprox::crypto {
+namespace {
+
+// Primes below 1000: cheap trial division rejects ~85% of odd candidates.
+constexpr std::array<std::uint32_t, 167> kSmallPrimes = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,
+    59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283,
+    293, 307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383,
+    389, 397, 401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463, 467,
+    479, 487, 491, 499, 503, 509, 521, 523, 541, 547, 557, 563, 569, 571, 577,
+    587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659, 661,
+    673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769,
+    773, 787, 797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877,
+    881, 883, 887, 907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983,
+    991, 997};
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  if (n == BigInt(2) || n == BigInt(3)) return true;
+  if (!n.is_odd()) return false;
+
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const BigInt two(2);
+  const BigInt n_minus_3 = n - BigInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    // Base a in [2, n-2].
+    const BigInt a = BigInt::random_below(n_minus_3, rng) + two;
+    BigInt x = a.modexp(d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(std::size_t bits, RandomSource& rng) {
+  while (true) {
+    BigInt candidate = BigInt::random_with_bits(bits, rng);
+    // Force the second-highest bit so p*q keeps full width, and force oddness.
+    if (!candidate.bit(bits - 2)) candidate = candidate + (BigInt(1) << (bits - 2));
+    if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+    if (candidate.bit_length() != bits) continue;
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace pprox::crypto

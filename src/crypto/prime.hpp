@@ -1,0 +1,16 @@
+// Probabilistic primality testing and prime generation for RSA keygen.
+#pragma once
+
+#include "crypto/bigint.hpp"
+
+namespace pprox::crypto {
+
+/// Miller–Rabin with `rounds` random bases (error probability <= 4^-rounds),
+/// preceded by trial division by small primes.
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds = 24);
+
+/// Generates a random prime with exactly `bits` bits. The top two bits are
+/// set so the product of two such primes has exactly 2*bits bits.
+BigInt generate_prime(std::size_t bits, RandomSource& rng);
+
+}  // namespace pprox::crypto

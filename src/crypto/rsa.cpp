@@ -1,0 +1,244 @@
+#include "crypto/rsa.hpp"
+
+#include <cstring>
+
+#include "crypto/prime.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+constexpr std::uint64_t kPublicExponent = 65537;
+
+// DER prefix for a SHA-256 DigestInfo (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfo[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+}  // namespace
+
+Bytes RsaPublicKey::fingerprint() const {
+  Bytes encoded = n.to_bytes_be();
+  append(encoded, e.to_bytes_be());
+  return Sha256::digest_bytes(encoded);
+}
+
+RsaKeyPair rsa_generate(std::size_t bits, RandomSource& rng) {
+  const BigInt e(kPublicExponent);
+  while (true) {
+    const BigInt p = generate_prime(bits / 2, rng);
+    BigInt q = generate_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigInt p1 = p - BigInt(1);
+    const BigInt q1 = q - BigInt(1);
+    const BigInt phi = p1 * q1;
+    if (BigInt::gcd(e, phi) != BigInt(1)) continue;
+    const BigInt d = e.modinv(phi);
+    if (d.is_zero()) continue;
+
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = d;
+    // CRT wants p > q so q_inv = q^-1 mod p is directly usable.
+    if (p >= q) {
+      priv.p = p;
+      priv.q = q;
+    } else {
+      priv.p = q;
+      priv.q = p;
+    }
+    priv.d_p = d % (priv.p - BigInt(1));
+    priv.d_q = d % (priv.q - BigInt(1));
+    priv.q_inv = priv.q.modinv(priv.p);
+    return {priv.public_key(), priv};
+  }
+}
+
+BigInt rsa_public_op(const RsaPublicKey& key, const BigInt& m) {
+  return m.modexp(key.e, key.n);
+}
+
+BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& c) {
+  // CRT: ~4x faster than a full-width modexp.
+  const BigInt m1 = (c % key.p).modexp(key.d_p, key.p);
+  const BigInt m2 = (c % key.q).modexp(key.d_q, key.q);
+  // h = q_inv * (m1 - m2) mod p, handling m1 < m2 by adding p.
+  BigInt diff;
+  if (m1 >= m2) {
+    diff = m1 - m2;
+  } else {
+    diff = (m1 + key.p) - (m2 % key.p);
+    diff = diff % key.p;
+  }
+  const BigInt h = (key.q_inv * diff) % key.p;
+  return m2 + key.q * h;
+}
+
+Result<Bytes> rsa_encrypt_pkcs1(const RsaPublicKey& key, ByteView plaintext,
+                                RandomSource& rng) {
+  const std::size_t k = key.modulus_bytes();
+  if (plaintext.size() + 11 > k) {
+    return Error::crypto("PKCS1: plaintext too long for modulus");
+  }
+  // EM = 0x00 || 0x02 || PS(nonzero random) || 0x00 || M
+  Bytes em(k, 0);
+  em[1] = 0x02;
+  const std::size_t ps_len = k - 3 - plaintext.size();
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    std::uint8_t b = 0;
+    while (b == 0) rng.fill(MutByteView(&b, 1));
+    em[2 + i] = b;
+  }
+  em[2 + ps_len] = 0x00;
+  std::memcpy(em.data() + 3 + ps_len, plaintext.data(), plaintext.size());
+
+  const BigInt m = BigInt::from_bytes_be(em);
+  return rsa_public_op(key, m).to_bytes_be(k);
+}
+
+Result<Bytes> rsa_decrypt_pkcs1(const RsaPrivateKey& key, ByteView ciphertext) {
+  const std::size_t k = key.modulus_bytes();
+  if (ciphertext.size() != k) return Error::crypto("PKCS1: bad ciphertext size");
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= key.n) return Error::crypto("PKCS1: ciphertext out of range");
+  const Bytes em = rsa_private_op(key, c).to_bytes_be(k);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) {
+    return Error::crypto("PKCS1: bad padding");
+  }
+  std::size_t sep = 0;
+  for (std::size_t i = 2; i < em.size(); ++i) {
+    if (em[i] == 0x00) {
+      sep = i;
+      break;
+    }
+  }
+  if (sep < 10) return Error::crypto("PKCS1: bad padding");
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep) + 1, em.end());
+}
+
+Bytes mgf1_sha256(ByteView seed, std::size_t length) {
+  Bytes out;
+  out.reserve(length + Sha256::kDigestSize);
+  for (std::uint32_t counter = 0; out.size() < length; ++counter) {
+    Sha256 h;
+    h.update(seed);
+    const std::uint8_t c[4] = {
+        static_cast<std::uint8_t>(counter >> 24),
+        static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8),
+        static_cast<std::uint8_t>(counter)};
+    h.update(ByteView(c, 4));
+    const auto d = h.finish();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  out.resize(length);
+  return out;
+}
+
+Result<Bytes> rsa_encrypt_oaep(const RsaPublicKey& key, ByteView plaintext,
+                               RandomSource& rng) {
+  constexpr std::size_t h = Sha256::kDigestSize;
+  const std::size_t k = key.modulus_bytes();
+  if (plaintext.size() + 2 * h + 2 > k) {
+    return Error::crypto("OAEP: plaintext too long for modulus");
+  }
+  // DB = lHash || PS(zeros) || 0x01 || M
+  Bytes db(k - h - 1, 0);
+  const auto l_hash = Sha256::digest(ByteView());
+  std::memcpy(db.data(), l_hash.data(), h);
+  db[db.size() - plaintext.size() - 1] = 0x01;
+  std::memcpy(db.data() + db.size() - plaintext.size(), plaintext.data(),
+              plaintext.size());
+
+  Bytes seed(h);
+  rng.fill(seed);
+  const Bytes db_mask = mgf1_sha256(seed, db.size());
+  xor_into(db, db_mask);
+  const Bytes seed_mask = mgf1_sha256(db, h);
+  xor_into(seed, seed_mask);
+
+  Bytes em(k, 0);
+  std::memcpy(em.data() + 1, seed.data(), h);
+  std::memcpy(em.data() + 1 + h, db.data(), db.size());
+  const BigInt m = BigInt::from_bytes_be(em);
+  return rsa_public_op(key, m).to_bytes_be(k);
+}
+
+Result<Bytes> rsa_decrypt_oaep(const RsaPrivateKey& key, ByteView ciphertext) {
+  constexpr std::size_t h = Sha256::kDigestSize;
+  const std::size_t k = key.modulus_bytes();
+  if (ciphertext.size() != k || k < 2 * h + 2) {
+    return Error::crypto("OAEP: bad ciphertext size");
+  }
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= key.n) return Error::crypto("OAEP: ciphertext out of range");
+  const Bytes em = rsa_private_op(key, c).to_bytes_be(k);
+
+  Bytes seed(em.begin() + 1, em.begin() + 1 + h);
+  Bytes db(em.begin() + 1 + static_cast<std::ptrdiff_t>(h), em.end());
+  const Bytes seed_mask = mgf1_sha256(db, h);
+  xor_into(seed, seed_mask);
+  const Bytes db_mask = mgf1_sha256(seed, db.size());
+  xor_into(db, db_mask);
+
+  const auto l_hash = Sha256::digest(ByteView());
+  // Single aggregated validity flag: avoid early exits that would leak which
+  // check failed (Manger-style oracle hardening).
+  std::uint8_t bad = em[0];
+  for (std::size_t i = 0; i < h; ++i) bad |= db[i] ^ l_hash[i];
+  std::size_t sep = 0;
+  bool found = false;
+  for (std::size_t i = h; i < db.size(); ++i) {
+    if (!found && db[i] == 0x01) {
+      sep = i;
+      found = true;
+    } else if (!found && db[i] != 0x00) {
+      bad |= 1;
+      break;
+    }
+  }
+  if (!found) bad |= 1;
+  if (bad != 0) return Error::crypto("OAEP: decryption error");
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(sep) + 1, db.end());
+}
+
+Bytes rsa_sign_sha256(const RsaPrivateKey& key, ByteView message) {
+  const std::size_t k = key.modulus_bytes();
+  const auto digest = Sha256::digest(message);
+  // EM = 0x00 || 0x01 || 0xFF..FF || 0x00 || DigestInfo
+  Bytes em(k, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  const std::size_t t_len = sizeof(kSha256DigestInfo) + digest.size();
+  em[k - t_len - 1] = 0x00;
+  std::memcpy(em.data() + k - t_len, kSha256DigestInfo, sizeof(kSha256DigestInfo));
+  std::memcpy(em.data() + k - digest.size(), digest.data(), digest.size());
+  const BigInt m = BigInt::from_bytes_be(em);
+  return rsa_private_op(key, m).to_bytes_be(k);
+}
+
+bool rsa_verify_sha256(const RsaPublicKey& key, ByteView message,
+                       ByteView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const Bytes em = rsa_public_op(key, s).to_bytes_be(k);
+
+  const auto digest = Sha256::digest(message);
+  Bytes expected(k, 0xFF);
+  expected[0] = 0x00;
+  expected[1] = 0x01;
+  const std::size_t t_len = sizeof(kSha256DigestInfo) + digest.size();
+  if (k < t_len + 3) return false;
+  expected[k - t_len - 1] = 0x00;
+  std::memcpy(expected.data() + k - t_len, kSha256DigestInfo,
+              sizeof(kSha256DigestInfo));
+  std::memcpy(expected.data() + k - digest.size(), digest.data(), digest.size());
+  return ct_equal(em, expected);
+}
+
+}  // namespace pprox::crypto

@@ -1,0 +1,73 @@
+// RSA with PKCS#1 v1.5 and OAEP (SHA-256) encryption padding. The paper's
+// proxy uses RSA for the client→layer asymmetric channel (enc(u, pkUA),
+// enc(i, pkIA), enc(k_u, pkIA)); decryption uses CRT for speed.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.hpp"
+#include "common/rand.hpp"
+#include "common/result.hpp"
+#include "crypto/bigint.hpp"
+
+namespace pprox::crypto {
+
+/// RSA public key (n, e). Copyable; distributing it is the point.
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  /// SHA-256 fingerprint of the encoded key, for attestation binding.
+  Bytes fingerprint() const;
+};
+
+/// RSA private key with CRT components.
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+  BigInt d_p;    // d mod (p-1)
+  BigInt d_q;    // d mod (q-1)
+  BigInt q_inv;  // q^-1 mod p
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+  RsaPublicKey public_key() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates a fresh key pair with a modulus of `bits` bits (e = 65537).
+/// Tests use 1024 for speed; deployments should use >= 2048.
+RsaKeyPair rsa_generate(std::size_t bits, RandomSource& rng);
+
+/// Raw RSA operations (textbook; exposed for tests and signatures).
+BigInt rsa_public_op(const RsaPublicKey& key, const BigInt& m);
+BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& c);
+
+/// PKCS#1 v1.5 type-2 encryption. Plaintext must fit: len <= k - 11.
+Result<Bytes> rsa_encrypt_pkcs1(const RsaPublicKey& key, ByteView plaintext,
+                                RandomSource& rng);
+Result<Bytes> rsa_decrypt_pkcs1(const RsaPrivateKey& key, ByteView ciphertext);
+
+/// RSAES-OAEP with SHA-256 and an empty label. len <= k - 2*32 - 2.
+Result<Bytes> rsa_encrypt_oaep(const RsaPublicKey& key, ByteView plaintext,
+                               RandomSource& rng);
+Result<Bytes> rsa_decrypt_oaep(const RsaPrivateKey& key, ByteView ciphertext);
+
+/// RSASSA with SHA-256 (PKCS#1 v1.5 DigestInfo). Used by the simulated
+/// attestation authority to sign enclave quotes.
+Bytes rsa_sign_sha256(const RsaPrivateKey& key, ByteView message);
+bool rsa_verify_sha256(const RsaPublicKey& key, ByteView message,
+                       ByteView signature);
+
+/// MGF1-SHA256 mask generation (RFC 8017 B.2.1); exposed for tests.
+Bytes mgf1_sha256(ByteView seed, std::size_t length);
+
+}  // namespace pprox::crypto

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4). Used for enclave measurements, attestation report
+// digests, HMAC, OAEP's MGF1, and key fingerprints.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace pprox::crypto {
+
+/// Incremental SHA-256. Typical one-shot use: Sha256::digest(data).
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void update(ByteView data);
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot digest.
+  static std::array<std::uint8_t, kDigestSize> digest(ByteView data);
+
+  /// One-shot digest as a Bytes buffer.
+  static Bytes digest_bytes(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104). Used by the attestation MAC path and the DRBG.
+Bytes hmac_sha256(ByteView key, ByteView message);
+
+}  // namespace pprox::crypto

@@ -1,0 +1,51 @@
+#include "enclave/attestation.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace pprox::enclave {
+
+Bytes Quote::signed_payload() const {
+  // Length-prefixed concatenation: unambiguous framing for the signature.
+  Bytes out;
+  for (const Bytes* field : {&measurement, &key_fingerprint, &nonce}) {
+    out.push_back(static_cast<std::uint8_t>(field->size() >> 8));
+    out.push_back(static_cast<std::uint8_t>(field->size()));
+    append(out, *field);
+  }
+  return out;
+}
+
+AttestationService::AttestationService(RandomSource& rng,
+                                       std::size_t root_key_bits)
+    : root_(crypto::rsa_generate(root_key_bits, rng)) {}
+
+void AttestationService::register_platform(const Enclave& enclave) {
+  platforms_.insert(&enclave);
+}
+
+Result<Quote> AttestationService::issue_quote(const Enclave& enclave,
+                                              ByteView nonce) const {
+  if (platforms_.find(&enclave) == platforms_.end()) {
+    return Error::denied("platform not registered with attestation authority");
+  }
+  Quote quote;
+  quote.measurement = enclave.measurement().digest;
+  quote.key_fingerprint = enclave.channel_public_key().fingerprint();
+  quote.nonce = Bytes(nonce.begin(), nonce.end());
+  quote.signature = crypto::rsa_sign_sha256(root_.priv, quote.signed_payload());
+  return quote;
+}
+
+bool AttestationService::verify_quote(const Quote& quote,
+                                      const crypto::RsaPublicKey& authority_root,
+                                      const Measurement& expected_measurement,
+                                      ByteView nonce,
+                                      const crypto::RsaPublicKey& channel_key) {
+  if (quote.measurement != expected_measurement.digest) return false;
+  if (quote.nonce != Bytes(nonce.begin(), nonce.end())) return false;
+  if (quote.key_fingerprint != channel_key.fingerprint()) return false;
+  return crypto::rsa_verify_sha256(authority_root, quote.signed_payload(),
+                                   quote.signature);
+}
+
+}  // namespace pprox::enclave

@@ -1,0 +1,54 @@
+// Remote attestation, modelled on Intel's quoting flow: a platform authority
+// (IAS stand-in) signs quotes binding {measurement, channel-key fingerprint,
+// verifier nonce}. The RaaS client application verifies a quote against the
+// authority's root key and its expected measurement before provisioning
+// secrets (paper §2.2: "code running inside enclaves is properly attested
+// before being provided with secrets").
+#pragma once
+
+#include <set>
+
+#include "common/bytes.hpp"
+#include "enclave/enclave.hpp"
+
+namespace pprox::enclave {
+
+/// A signed attestation statement for one enclave instance.
+struct Quote {
+  Bytes measurement;       // enclave code measurement
+  Bytes key_fingerprint;   // SHA-256 of the enclave's channel public key
+  Bytes nonce;             // verifier freshness challenge
+  Bytes signature;         // authority signature over the three fields
+
+  Bytes signed_payload() const;
+};
+
+/// The platform/quoting authority. Only enclaves on registered platforms
+/// (genuine SGX CPUs) can obtain quotes.
+class AttestationService {
+ public:
+  explicit AttestationService(RandomSource& rng, std::size_t root_key_bits = 1024);
+
+  const crypto::RsaPublicKey& root_public_key() const { return root_.pub; }
+
+  /// Registers a platform as genuine (models Intel's CPU certification).
+  void register_platform(const Enclave& enclave);
+
+  /// Issues a signed quote; fails for unregistered platforms.
+  Result<Quote> issue_quote(const Enclave& enclave, ByteView nonce) const;
+
+  /// Verifier side: checks signature, expected measurement, nonce freshness,
+  /// and that the quote covers `channel_key` (the key secrets will be
+  /// encrypted under).
+  static bool verify_quote(const Quote& quote,
+                           const crypto::RsaPublicKey& authority_root,
+                           const Measurement& expected_measurement,
+                           ByteView nonce,
+                           const crypto::RsaPublicKey& channel_key);
+
+ private:
+  crypto::RsaKeyPair root_;
+  std::set<const Enclave*> platforms_;
+};
+
+}  // namespace pprox::enclave

@@ -1,0 +1,74 @@
+#include "enclave/enclave.hpp"
+
+#include "crypto/ctr.hpp"
+#include "crypto/hybrid.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pprox::enclave {
+
+Measurement Measurement::of_code(std::string_view code_identity) {
+  return Measurement{crypto::Sha256::digest_bytes(to_bytes(code_identity))};
+}
+
+Enclave::Enclave(std::string code_identity, RandomSource& rng,
+                 std::size_t channel_key_bits)
+    : code_identity_(std::move(code_identity)),
+      measurement_(Measurement::of_code(code_identity_)),
+      enclave_rng_(rng.bytes(32)) {
+  auto pair = crypto::rsa_generate(channel_key_bits, enclave_rng_);
+  channel_pub_ = std::move(pair.pub);
+  channel_priv_ = std::move(pair.priv);
+  platform_seal_key_ = enclave_rng_.bytes(32);
+}
+
+Status Enclave::provision(ByteView encrypted) {
+  if (provisioned_) {
+    return Error::denied("enclave already provisioned");
+  }
+  auto secrets = crypto::hybrid_decrypt(channel_priv_, encrypted);
+  if (!secrets.ok()) return secrets.error();
+  secrets_ = std::move(secrets.value());
+  provisioned_ = true;
+  return Status::ok_status();
+}
+
+Bytes Enclave::seal(ByteView data) const {
+  // Sealing key binds platform and measurement: MRENCLAVE-policy sealing.
+  const Bytes key =
+      crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
+  const crypto::RandomIvCipher cipher(key);
+  Bytes sealed = cipher.encrypt(data, enclave_rng_);
+  // MAC over the ciphertext for integrity.
+  Bytes mac = crypto::hmac_sha256(key, sealed);
+  append(sealed, mac);
+  return sealed;
+}
+
+Result<Bytes> Enclave::unseal(ByteView sealed) const {
+  if (sealed.size() < 48) return Error::crypto("unseal: blob too short");
+  const Bytes key =
+      crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
+  const ByteView body = sealed.first(sealed.size() - 32);
+  const ByteView mac = sealed.last(32);
+  if (!ct_equal(crypto::hmac_sha256(key, body), mac)) {
+    return Error::crypto("unseal: MAC mismatch");
+  }
+  const crypto::RandomIvCipher cipher(key);
+  return cipher.decrypt(body);
+}
+
+Result<Bytes> Enclave::exfiltrate_secrets() const {
+  if (!breached()) {
+    return Error::denied("enclave not breached: secrets are isolated");
+  }
+  return secrets_;
+}
+
+Result<crypto::RsaPrivateKey> Enclave::exfiltrate_channel_key() const {
+  if (!breached()) {
+    return Error::denied("enclave not breached: key is isolated");
+  }
+  return channel_priv_;
+}
+
+}  // namespace pprox::enclave

@@ -1,0 +1,120 @@
+#include "lrs/cco.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pprox::lrs {
+namespace {
+
+// Shannon entropy term used by the LLR computation: sum of k*ln(k) with the
+// convention 0*ln(0) = 0.
+double x_log_x(std::uint64_t x) {
+  return x == 0 ? 0.0 : static_cast<double>(x) * std::log(static_cast<double>(x));
+}
+
+double entropy(std::initializer_list<std::uint64_t> ks) {
+  std::uint64_t total = 0;
+  double sum = 0;
+  for (const std::uint64_t k : ks) {
+    total += k;
+    sum += x_log_x(k);
+  }
+  return x_log_x(total) - sum;
+}
+
+}  // namespace
+
+double log_likelihood_ratio(std::uint64_t k11, std::uint64_t k12,
+                            std::uint64_t k21, std::uint64_t k22) {
+  const double row_entropy = entropy({k11 + k12, k21 + k22});
+  const double col_entropy = entropy({k11 + k21, k12 + k22});
+  const double mat_entropy = entropy({k11, k12, k21, k22});
+  const double llr = 2.0 * (row_entropy + col_entropy - mat_entropy);
+  return llr < 0 ? 0 : llr;  // clamp tiny negative rounding residue
+}
+
+std::vector<IndexedItem> CcoTrainer::train(const std::vector<Event>& events) const {
+  // 1. Deduplicated user histories (a user liking an item twice counts once).
+  std::unordered_map<std::string, std::unordered_set<std::string>> history;
+  for (const Event& e : events) {
+    auto& set = history[e.user];
+    if (set.size() < params_.max_events_per_user) set.insert(e.item);
+  }
+
+  // 2. Per-item user counts and pairwise co-occurrence counts.
+  std::unordered_map<std::string, std::uint64_t> item_users;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::uint64_t>>
+      cooccur;
+  const std::uint64_t total_users = history.size();
+  for (const auto& [user, items] : history) {
+    (void)user;
+    std::vector<std::string> sorted(items.begin(), items.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& item : sorted) ++item_users[item];
+    for (std::size_t a = 0; a < sorted.size(); ++a) {
+      for (std::size_t b = 0; b < sorted.size(); ++b) {
+        if (a != b) ++cooccur[sorted[a]][sorted[b]];
+      }
+    }
+  }
+
+  // 3. LLR per (item, indicator) pair; keep the strongest indicators.
+  std::vector<IndexedItem> model;
+  model.reserve(item_users.size());
+  for (const auto& [item, partners] : cooccur) {
+    IndexedItem doc;
+    doc.item_id = item;
+    const std::uint64_t a_users = item_users[item];
+    for (const auto& [other, both] : partners) {
+      const std::uint64_t b_users = item_users[other];
+      // LLR is two-sided; an indicator must be a *positive* association
+      // (co-occurrence above the independence expectation), or items that
+      // repel each other would score as highly as items that attract.
+      if (both * total_users <= a_users * b_users) continue;
+      const std::uint64_t k11 = both;
+      const std::uint64_t k12 = a_users - both;
+      const std::uint64_t k21 = b_users - both;
+      const std::uint64_t k22 = total_users - a_users - b_users + both;
+      const double llr = log_likelihood_ratio(k11, k12, k21, k22);
+      if (llr > params_.llr_threshold) doc.indicators.emplace_back(other, llr);
+    }
+    std::sort(doc.indicators.begin(), doc.indicators.end(),
+              [](const auto& x, const auto& y) {
+                if (x.second != y.second) return x.second > y.second;
+                return x.first < y.first;
+              });
+    if (doc.indicators.size() > params_.max_indicators_per_item) {
+      // Truncate, but keep every indicator tied with the boundary score:
+      // ids are an arbitrary tie-break, and cutting inside a tie group would
+      // make the model depend on identifier *names* — under PProx the LRS
+      // sees pseudonyms, and a name-dependent model would break the
+      // recommendations-are-identical transparency property.
+      const double boundary =
+          doc.indicators[params_.max_indicators_per_item - 1].second;
+      std::size_t end = params_.max_indicators_per_item;
+      while (end < doc.indicators.size() &&
+             doc.indicators[end].second == boundary) {
+        ++end;
+      }
+      doc.indicators.resize(end);
+    }
+    model.push_back(std::move(doc));
+  }
+  // Items nobody co-liked still deserve an (indicator-less) document.
+  for (const auto& [item, n] : item_users) {
+    (void)n;
+    if (cooccur.find(item) == cooccur.end()) {
+      model.push_back(IndexedItem{item, {}});
+    }
+  }
+  std::sort(model.begin(), model.end(),
+            [](const IndexedItem& x, const IndexedItem& y) {
+              return x.item_id < y.item_id;
+            });
+  return model;
+}
+
+}  // namespace pprox::lrs

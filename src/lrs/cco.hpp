@@ -1,0 +1,65 @@
+// Correlated Cross-Occurrence (CCO) model construction with log-likelihood
+// ratio (LLR) indicator scoring — the algorithm behind ActionML's Universal
+// Recommender that the paper integrates with (§7). The batch trainer is the
+// Apache Spark stand-in: it consumes accumulated feedback events and emits
+// per-item indicator lists for the search index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lrs/search_index.hpp"
+
+namespace pprox::lrs {
+
+/// One feedback event: user `u` interacted with item `i` (paper post(u,i)).
+struct Event {
+  std::string user;
+  std::string item;
+};
+
+struct CcoParams {
+  /// Keep at most this many indicators per item (UR default is 50).
+  std::size_t max_indicators_per_item = 50;
+  /// Indicators scoring below this LLR threshold are dropped.
+  double llr_threshold = 0.0;
+  /// Cap on events per user to bound the quadratic co-occurrence work
+  /// (UR's maxEventsPerEventType downsampling).
+  std::size_t max_events_per_user = 500;
+};
+
+/// Dunning's log-likelihood ratio for a 2x2 contingency table:
+/// k11 = both, k12 = A only, k21 = B only, k22 = neither.
+double log_likelihood_ratio(std::uint64_t k11, std::uint64_t k12,
+                            std::uint64_t k21, std::uint64_t k22);
+
+/// Batch CCO training: builds co-occurrence counts between items across user
+/// histories and converts them to LLR-weighted indicators.
+class CcoTrainer {
+ public:
+  explicit CcoTrainer(CcoParams params = {}) : params_(params) {}
+
+  /// Produces a model (one IndexedItem per item) from the event log.
+  std::vector<IndexedItem> train(const std::vector<Event>& events) const;
+
+ private:
+  CcoParams params_;
+};
+
+/// Query-side model: scores candidates for a user from their history using
+/// the indicator index, excluding already-seen items.
+class Recommender {
+ public:
+  explicit Recommender(const SearchIndex& index) : index_(&index) {}
+
+  std::vector<ScoredHit> recommend(const std::vector<std::string>& user_history,
+                                   std::size_t limit) const {
+    return index_->query(user_history, user_history, limit);
+  }
+
+ private:
+  const SearchIndex* index_;
+};
+
+}  // namespace pprox::lrs

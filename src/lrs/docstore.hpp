@@ -1,0 +1,56 @@
+// In-memory document store — the MongoDB stand-in persisting engine data and
+// pending inputs (feedback events) for the Harness-like LRS (paper §7).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace pprox::lrs {
+
+/// One named collection of JSON documents keyed by string id.
+/// Thread-safe: readers share, writers exclude.
+class Collection {
+ public:
+  /// Inserts or replaces; returns the id (generated when empty).
+  std::string upsert(std::string id, json::JsonValue doc);
+
+  std::optional<json::JsonValue> find_by_id(const std::string& id) const;
+
+  /// All documents whose string field `key` equals `value`.
+  std::vector<json::JsonValue> find_by_field(const std::string& key,
+                                             const std::string& value) const;
+
+  /// Applies `fn` to every document (read-only snapshot semantics: the lock
+  /// is held for the duration, so fn must not call back into the store).
+  void scan(const std::function<void(const std::string&,
+                                     const json::JsonValue&)>& fn) const;
+
+  bool erase(const std::string& id);
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, json::JsonValue> docs_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// A set of named collections.
+class DocumentStore {
+ public:
+  Collection& collection(const std::string& name);
+  std::vector<std::string> collection_names() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace pprox::lrs

@@ -1,0 +1,153 @@
+#include "lrs/harness.hpp"
+
+#include <algorithm>
+
+namespace pprox::lrs {
+
+HarnessServer::HarnessServer(HarnessConfig config)
+    : config_(config), trainer_(config.cco) {
+  router_.add("POST", "/engines/ur/events",
+              [this](const http::HttpRequest& r) { return handle_event(r); });
+  router_.add("POST", "/engines/ur/queries",
+              [this](const http::HttpRequest& r) { return handle_query(r); });
+  router_.add("POST", "/engines/ur/train",
+              [this](const http::HttpRequest& r) { return handle_train(r); });
+  router_.add("GET", "/health", [](const http::HttpRequest&) {
+    return http::HttpResponse::json_response(200, R"({"status":"green"})");
+  });
+}
+
+void HarnessServer::handle(http::HttpRequest request, net::RespondFn done) {
+  done(router_.dispatch(request));
+}
+
+http::HttpResponse HarnessServer::handle_event(const http::HttpRequest& request) {
+  const auto doc = json::parse(request.body);
+  if (!doc.ok() || !doc.value().is_object()) {
+    return http::HttpResponse::error_response(400, "malformed event");
+  }
+  const std::string user = doc.value().get_string("user");
+  const std::string item = doc.value().get_string("item");
+  if (user.empty() || item.empty()) {
+    return http::HttpResponse::error_response(400, "event needs user and item");
+  }
+  return post_event(user, item, doc.value().get_string("payload"));
+}
+
+http::HttpResponse HarnessServer::post_event(const std::string& user,
+                                             const std::string& item,
+                                             const std::string& payload) {
+  json::JsonValue doc{json::JsonObject{}};
+  doc.set("user", user);
+  doc.set("item", item);
+  if (!payload.empty()) doc.set("payload", payload);
+  store_.collection("events").upsert("", std::move(doc));
+  {
+    std::unique_lock lock(history_mutex_);
+    auto& h = history_[user];
+    if (std::find(h.begin(), h.end(), item) == h.end()) h.push_back(item);
+  }
+  return http::HttpResponse::json_response(201, R"({"status":"accepted"})");
+}
+
+std::vector<std::pair<std::string, std::string>> HarnessServer::dump_events() const {
+  std::vector<std::pair<std::string, std::string>> rows;
+  store_.collection("events").scan(
+      [&rows](const std::string&, const json::JsonValue& doc) {
+        rows.emplace_back(doc.get_string("user"), doc.get_string("item"));
+      });
+  return rows;
+}
+
+std::vector<HarnessServer::EventRow> HarnessServer::dump_event_rows() const {
+  std::vector<EventRow> rows;
+  store_.collection("events").scan(
+      [&rows](const std::string&, const json::JsonValue& doc) {
+        rows.push_back({doc.get_string("user"), doc.get_string("item"),
+                        doc.get_string("payload")});
+      });
+  return rows;
+}
+
+void HarnessServer::replace_all_events(const std::vector<EventRow>& rows) {
+  store_.collection("events").clear();
+  {
+    std::unique_lock lock(history_mutex_);
+    history_.clear();
+  }
+  for (const auto& row : rows) post_event(row.user, row.item, row.payload);
+}
+
+std::vector<std::string> HarnessServer::user_history(const std::string& user) const {
+  std::shared_lock lock(history_mutex_);
+  const auto it = history_.find(user);
+  return it == history_.end() ? std::vector<std::string>{} : it->second;
+}
+
+http::HttpResponse HarnessServer::handle_query(const http::HttpRequest& request) {
+  const auto doc = json::parse(request.body);
+  if (!doc.ok() || !doc.value().is_object()) {
+    return http::HttpResponse::error_response(400, "malformed query");
+  }
+  const std::string user = doc.value().get_string("user");
+  if (user.empty()) {
+    return http::HttpResponse::error_response(400, "query needs user");
+  }
+  return query(user);
+}
+
+std::vector<ScoredHit> HarnessServer::query_scored(const std::string& user,
+                                                   std::size_t limit) const {
+  const std::vector<std::string> history = user_history(user);
+  return Recommender(index_).recommend(history, limit);
+}
+
+http::HttpResponse HarnessServer::query(const std::string& user) {
+  const std::vector<std::string> history = user_history(user);
+  const Recommender recommender(index_);
+  const auto hits = recommender.recommend(history, config_.max_recommendations);
+
+  json::JsonArray items;
+  for (const auto& hit : hits) items.emplace_back(hit.item_id);
+  json::JsonValue body{json::JsonObject{}};
+  body.set("items", std::move(items));
+  return http::HttpResponse::json_response(200, body.dump());
+}
+
+http::HttpResponse HarnessServer::handle_train(const http::HttpRequest&) {
+  const std::size_t n = train();
+  json::JsonValue body{json::JsonObject{}};
+  body.set("items_indexed", static_cast<double>(n));
+  return http::HttpResponse::json_response(200, body.dump());
+}
+
+std::size_t HarnessServer::train() {
+  // Spark stand-in: batch job over all accumulated events.
+  std::vector<Event> events;
+  store_.collection("events").scan(
+      [&events](const std::string&, const json::JsonValue& doc) {
+        events.push_back({doc.get_string("user"), doc.get_string("item")});
+      });
+  auto model = trainer_.train(events);
+  const std::size_t n = model.size();
+  index_.replace_all(std::move(model));
+  return n;
+}
+
+StubServer::StubServer(std::size_t list_size) {
+  // Same shape and size class as a real recommendation list.
+  json::JsonArray items;
+  for (std::size_t i = 0; i < list_size; ++i) {
+    items.emplace_back("stub-item-" + std::to_string(i));
+  }
+  json::JsonValue body{json::JsonObject{}};
+  body.set("items", std::move(items));
+  payload_ = body.dump();
+}
+
+void StubServer::handle(http::HttpRequest request, net::RespondFn done) {
+  (void)request;
+  done(http::HttpResponse::json_response(200, payload_));
+}
+
+}  // namespace pprox::lrs

@@ -1,0 +1,107 @@
+// The Harness-like legacy recommendation system (LRS): REST front-end over
+// the document store (MongoDB stand-in), search index (Elasticsearch
+// stand-in) and CCO batch trainer (Spark stand-in). Matches the surface the
+// paper integrates with (§7): insert feedback, train, query recommendations.
+//
+// The LRS is privacy-oblivious by design: it stores and serves whatever
+// (possibly pseudonymized) identifiers it receives.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "http/http.hpp"
+#include "lrs/cco.hpp"
+#include "lrs/docstore.hpp"
+#include "lrs/search_index.hpp"
+#include "net/channel.hpp"
+
+namespace pprox::lrs {
+
+struct HarnessConfig {
+  std::size_t max_recommendations = 20;  ///< result list cap (paper §4.3)
+  CcoParams cco;
+};
+
+/// REST API:
+///   POST /engines/ur/events   {"user":u,"item":i[,"payload":p]} -> 201
+///                             (payload = optional rating/weight string)
+///   POST /engines/ur/queries  {"user":u}  -> 200 {"items":[...]}
+///   POST /engines/ur/train    -> 200 {"items_indexed":n}
+///   GET  /health              -> 200
+class HarnessServer final : public net::RequestSink {
+ public:
+  explicit HarnessServer(HarnessConfig config = {});
+
+  // RequestSink: synchronous handling (the LRS' own scaling is modelled in
+  // the simulator; here correctness is what matters).
+  void handle(http::HttpRequest request, net::RespondFn done) override;
+
+  /// Direct API used by tests and the trainer examples.
+  http::HttpResponse post_event(const std::string& user, const std::string& item,
+                                const std::string& payload = "");
+  http::HttpResponse query(const std::string& user);
+  std::size_t train();
+
+  /// Scored query (diagnostic surface): lets callers distinguish genuinely
+  /// different recommendations from reorderings among equal-scored items —
+  /// the only divergence pseudonymization can introduce (ids are the
+  /// tie-break key, and pseudonyms sort differently than plaintext ids).
+  std::vector<ScoredHit> query_scored(const std::string& user,
+                                      std::size_t limit) const;
+
+  std::size_t event_count() const { return store_.collection("events").size(); }
+  std::size_t indexed_items() const { return index_.document_count(); }
+
+  /// User history as currently known (insertion-ordered, deduplicated).
+  std::vector<std::string> user_history(const std::string& user) const;
+
+  /// Raw (user, item) rows as persisted — what an adversary reading the
+  /// database sees (paper §2.3 ➋). Order unspecified.
+  std::vector<std::pair<std::string, std::string>> dump_events() const;
+
+  /// Full event rows including payloads (operator surface, used by the
+  /// breach-response re-encryption pass).
+  struct EventRow {
+    std::string user;
+    std::string item;
+    std::string payload;
+  };
+  std::vector<EventRow> dump_event_rows() const;
+
+  /// Atomically replaces the whole event store (the re-upload step of the
+  /// paper's footnote-1 "download, re-encrypt, re-upload" breach response).
+  /// The search index is NOT touched: callers must retrain.
+  void replace_all_events(const std::vector<EventRow>& rows);
+
+ private:
+  http::HttpResponse handle_event(const http::HttpRequest& request);
+  http::HttpResponse handle_query(const http::HttpRequest& request);
+  http::HttpResponse handle_train(const http::HttpRequest& request);
+
+  HarnessConfig config_;
+  mutable DocumentStore store_;
+  SearchIndex index_;
+  CcoTrainer trainer_;
+  http::Router router_;
+
+  mutable std::shared_mutex history_mutex_;
+  std::unordered_map<std::string, std::vector<std::string>> history_;
+};
+
+/// The nginx stub used by the paper's micro-benchmarks (§7.1): returns a
+/// static payload of the same shape/size as a Harness recommendation list.
+class StubServer final : public net::RequestSink {
+ public:
+  explicit StubServer(std::size_t list_size = 20);
+
+  void handle(http::HttpRequest request, net::RespondFn done) override;
+
+  const std::string& payload() const { return payload_; }
+
+ private:
+  std::string payload_;
+};
+
+}  // namespace pprox::lrs

@@ -1,0 +1,65 @@
+#include "lrs/scheduler.hpp"
+
+namespace pprox::lrs {
+
+TrainingScheduler::TrainingScheduler(HarnessServer& server, TrainingPolicy policy)
+    : server_(&server), policy_(policy) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+TrainingScheduler::~TrainingScheduler() { stop(); }
+
+void TrainingScheduler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_.exchange(true)) return;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  run_done_cv_.notify_all();
+}
+
+void TrainingScheduler::trigger() {
+  std::lock_guard lock(mutex_);
+  trigger_requested_ = true;
+  cv_.notify_all();
+}
+
+void TrainingScheduler::wait_for_next_run() {
+  const std::uint64_t seen = runs_.load();
+  std::unique_lock lock(mutex_);
+  run_done_cv_.wait(lock, [this, seen] {
+    return stopping_.load() || runs_.load() > seen;
+  });
+}
+
+void TrainingScheduler::loop() {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::chrono::milliseconds kPollSlice{20};
+  std::unique_lock lock(mutex_);
+  auto deadline = Clock::now() + policy_.interval;
+  while (!stopping_.load()) {
+    // Short waits so the event-count trigger reacts promptly: new events do
+    // not notify this thread, they are observed by polling.
+    cv_.wait_for(lock, kPollSlice,
+                 [this] { return stopping_.load() || trigger_requested_; });
+    if (stopping_.load()) return;
+    const bool by_count =
+        policy_.min_new_events > 0 &&
+        server_->event_count() >= events_at_last_run_ + policy_.min_new_events;
+    const bool by_time = Clock::now() >= deadline;
+    if (!trigger_requested_ && !by_count && !by_time) continue;
+
+    trigger_requested_ = false;
+    const std::size_t events_now = server_->event_count();
+    lock.unlock();
+    server_->train();  // batch job; queries keep hitting the old snapshot
+    lock.lock();
+    events_at_last_run_ = events_now;
+    deadline = Clock::now() + policy_.interval;
+    runs_.fetch_add(1);
+    run_done_cv_.notify_all();
+  }
+}
+
+}  // namespace pprox::lrs

@@ -1,0 +1,61 @@
+// Periodic model-rebuild scheduler — the "periodic runs of Apache Spark for
+// rebuilding this model including new inputs fetched from MongoDB" of the
+// paper's Harness deployment (§7). Runs the CCO batch job on a background
+// thread at a fixed cadence, or on demand when enough new feedback arrived.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "lrs/harness.hpp"
+
+namespace pprox::lrs {
+
+struct TrainingPolicy {
+  std::chrono::milliseconds interval{60'000};  ///< rebuild cadence
+  /// Also rebuild early once this many events arrived since the last run
+  /// (0 disables the event-count trigger).
+  std::size_t min_new_events = 0;
+};
+
+/// Owns a background thread that retrains `server` per the policy. The
+/// scheduler never blocks queries: training swaps a fresh index generation
+/// in atomically (SearchIndex snapshot semantics).
+class TrainingScheduler {
+ public:
+  TrainingScheduler(HarnessServer& server, TrainingPolicy policy);
+  ~TrainingScheduler();
+
+  TrainingScheduler(const TrainingScheduler&) = delete;
+  TrainingScheduler& operator=(const TrainingScheduler&) = delete;
+
+  /// Requests an immediate rebuild (returns once it is scheduled, not done).
+  void trigger();
+
+  /// Blocks until at least one training run has completed since the call.
+  void wait_for_next_run();
+
+  std::uint64_t runs_completed() const { return runs_.load(); }
+
+  void stop();
+
+ private:
+  void loop();
+
+  HarnessServer* server_;
+  TrainingPolicy policy_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> runs_{0};
+  std::size_t events_at_last_run_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable run_done_cv_;
+  bool trigger_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pprox::lrs

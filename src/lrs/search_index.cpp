@@ -1,0 +1,65 @@
+#include "lrs/search_index.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pprox::lrs {
+
+void SearchIndex::replace_all(std::vector<IndexedItem> items) {
+  auto next = std::make_shared<Snapshot>();
+  next->item_ids.reserve(items.size());
+  for (auto& item : items) {
+    const auto index = static_cast<std::uint32_t>(next->item_ids.size());
+    next->item_ids.push_back(item.item_id);
+    for (auto& [term, weight] : item.indicators) {
+      next->postings[term].push_back({index, weight});
+    }
+  }
+  std::lock_guard lock(swap_mutex_);
+  next->generation = current_->generation + 1;
+  current_ = std::move(next);
+}
+
+std::shared_ptr<const SearchIndex::Snapshot> SearchIndex::snapshot() const {
+  // Brief critical section: copy the shared_ptr; queries then run lock-free
+  // against the immutable snapshot.
+  std::lock_guard lock(swap_mutex_);
+  return current_;
+}
+
+std::vector<ScoredHit> SearchIndex::query(
+    const std::vector<std::string>& terms,
+    const std::vector<std::string>& exclude, std::size_t limit) const {
+  const auto snap = snapshot();
+  std::unordered_map<std::uint32_t, double> scores;
+  for (const auto& term : terms) {
+    const auto it = snap->postings.find(term);
+    if (it == snap->postings.end()) continue;
+    for (const Posting& p : it->second) scores[p.item_index] += p.weight;
+  }
+  const std::unordered_set<std::string> excluded(exclude.begin(), exclude.end());
+
+  std::vector<ScoredHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [index, score] : scores) {
+    const std::string& id = snap->item_ids[index];
+    if (excluded.count(id) > 0) continue;
+    hits.push_back({id, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredHit& a, const ScoredHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item_id < b.item_id;
+  });
+  if (hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+std::size_t SearchIndex::document_count() const {
+  return snapshot()->item_ids.size();
+}
+
+std::uint64_t SearchIndex::generation() const {
+  return snapshot()->generation;
+}
+
+}  // namespace pprox::lrs

@@ -1,0 +1,63 @@
+// Inverted index with weighted-term scoring — the Elasticsearch stand-in
+// that persists the Universal Recommender model (paper §7). Items are
+// documents whose terms are their CCO indicators; a recommendation query is
+// a weighted boolean "should" over the user's history.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pprox::lrs {
+
+/// One indexed document: an item and its indicator terms with LLR weights.
+struct IndexedItem {
+  std::string item_id;
+  std::vector<std::pair<std::string, double>> indicators;
+};
+
+/// A scored query hit.
+struct ScoredHit {
+  std::string item_id;
+  double score;
+};
+
+/// Immutable-snapshot inverted index: writers build a new generation and
+/// swap it in atomically, so queries never block behind (re)training.
+class SearchIndex {
+ public:
+  /// Replaces the whole index with a new model generation (bulk upload
+  /// after a training run — how Harness deploys a new UR model).
+  void replace_all(std::vector<IndexedItem> items);
+
+  /// Scores all items matching at least one query term; a document's score
+  /// is the sum of its matched indicator weights. `exclude` (the user's own
+  /// history) is removed; top `limit` hits returned, score-descending with
+  /// item-id tiebreak (deterministic).
+  std::vector<ScoredHit> query(const std::vector<std::string>& terms,
+                               const std::vector<std::string>& exclude,
+                               std::size_t limit) const;
+
+  std::size_t document_count() const;
+  std::uint64_t generation() const;
+
+ private:
+  struct Posting {
+    std::uint32_t item_index;
+    double weight;
+  };
+  struct Snapshot {
+    std::vector<std::string> item_ids;
+    std::unordered_map<std::string, std::vector<Posting>> postings;
+    std::uint64_t generation = 0;
+  };
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  mutable std::mutex swap_mutex_;
+  std::shared_ptr<const Snapshot> current_ = std::make_shared<Snapshot>();
+};
+
+}  // namespace pprox::lrs

@@ -1,0 +1,82 @@
+// Transport abstraction. The proxy pipeline is written against HttpChannel /
+// RequestSink so the same logic runs over three hosts: in-process wiring
+// (tests, examples), real TCP + epoll (deployment path), and the discrete-
+// event simulator (evaluation benches).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "http/http.hpp"
+
+namespace pprox::net {
+
+/// Completion callback carrying the response. May be invoked on any thread.
+using RespondFn = std::function<void(http::HttpResponse)>;
+
+/// Client side: something requests can be sent to.
+class HttpChannel {
+ public:
+  virtual ~HttpChannel() = default;
+  virtual void send(http::HttpRequest request, RespondFn done) = 0;
+};
+
+/// Server side: something that handles requests and eventually responds.
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual void handle(http::HttpRequest request, RespondFn done) = 0;
+};
+
+/// Zero-copy in-process channel: forwards directly into a sink.
+class InProcChannel final : public HttpChannel {
+ public:
+  explicit InProcChannel(RequestSink& sink) : sink_(&sink) {}
+  void send(http::HttpRequest request, RespondFn done) override {
+    sink_->handle(std::move(request), std::move(done));
+  }
+
+ private:
+  RequestSink* sink_;
+};
+
+/// Round-robin load balancer over several backends — the kube-proxy
+/// stand-in used for horizontal scaling of proxy layers and LRS front-ends.
+class RoundRobinChannel final : public HttpChannel {
+ public:
+  explicit RoundRobinChannel(std::vector<std::shared_ptr<HttpChannel>> backends)
+      : backends_(std::move(backends)) {}
+
+  void send(http::HttpRequest request, RespondFn done) override {
+    if (backends_.empty()) {
+      done(http::HttpResponse::error_response(503, "no backends"));
+      return;
+    }
+    const std::size_t i =
+        next_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
+    backends_[i]->send(std::move(request), std::move(done));
+  }
+
+  std::size_t backend_count() const { return backends_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<HttpChannel>> backends_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Adapts a synchronous handler function into a RequestSink.
+class FunctionSink final : public RequestSink {
+ public:
+  using Fn = std::function<http::HttpResponse(const http::HttpRequest&)>;
+  explicit FunctionSink(Fn fn) : fn_(std::move(fn)) {}
+  void handle(http::HttpRequest request, RespondFn done) override {
+    done(fn_(request));
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace pprox::net

@@ -1,0 +1,58 @@
+// RAII file descriptors and small TCP helpers for the epoll server/client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace pprox::net {
+
+/// Owning file descriptor; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket on 127.0.0.1:port (port 0 = ephemeral).
+Result<Fd> tcp_listen(std::uint16_t port);
+
+/// Returns the locally bound port of a listening socket.
+Result<std::uint16_t> local_port(const Fd& fd);
+
+/// Blocking connect to 127.0.0.1:port.
+Result<Fd> tcp_connect(std::uint16_t port);
+
+/// Sets O_NONBLOCK.
+Status set_nonblocking(const Fd& fd, bool enabled);
+
+/// Writes the whole buffer (blocking socket); returns error on failure.
+Status write_all(const Fd& fd, std::string_view data);
+
+}  // namespace pprox::net

@@ -1,0 +1,117 @@
+// Real-network transport: an epoll-based HTTP server (mirroring the paper's
+// event-driven proxy server, §5) and a pooled blocking HTTP client channel.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/socket.hpp"
+
+namespace pprox::net {
+
+/// Single-threaded epoll HTTP/1.1 server. Incoming requests are handed to
+/// the sink; the sink's completion callback may fire on any thread — the
+/// response is routed back to the right connection, in request order, via an
+/// eventfd wakeup. This mirrors the paper's server thread + routing table T.
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:port (0 = pick an ephemeral port) and starts the loop.
+  TcpServer(std::uint16_t port, RequestSink& sink);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Number of currently open client connections (for tests).
+  std::size_t connection_count() const;
+
+  void stop();
+
+ private:
+  struct Connection {
+    Fd fd;
+    http::HttpParser parser{http::HttpParser::Mode::kRequest};
+    std::string out_buffer;
+    // In-order response slots: HTTP/1.1 requires responses in request order.
+    std::deque<std::optional<http::HttpResponse>> pending;
+    std::uint64_t first_slot = 0;  // slot id of pending.front()
+    std::uint64_t next_slot = 0;
+    bool closing = false;
+  };
+
+  void loop();
+  void accept_new();
+  void on_readable(std::uint64_t conn_id);
+  void on_writable(std::uint64_t conn_id);
+  void flush_ready(std::uint64_t conn_id, Connection& conn);
+  void drain_completions();
+  void close_connection(std::uint64_t conn_id);
+  void update_epoll(std::uint64_t conn_id, Connection& conn);
+
+  Fd listen_fd_;
+  Fd epoll_fd_;
+  Fd wake_fd_;  // eventfd
+  std::uint16_t port_ = 0;
+  RequestSink* sink_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  mutable std::mutex conn_count_mutex_;
+  std::size_t conn_count_ = 0;
+
+  struct Completion {
+    std::uint64_t conn_id;
+    std::uint64_t slot;
+    http::HttpResponse response;
+  };
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+};
+
+/// Client channel to 127.0.0.1:port backed by a small pool of worker
+/// threads, each holding one persistent connection (blocking round trips).
+/// A per-request deadline guards against hung upstreams: expiry yields a
+/// 504 and drops the (now unusable) connection.
+class TcpChannel final : public HttpChannel {
+ public:
+  explicit TcpChannel(std::uint16_t port, std::size_t pool_size = 4,
+                      std::chrono::milliseconds request_timeout =
+                          std::chrono::milliseconds(30'000));
+  ~TcpChannel() override;
+
+  void send(http::HttpRequest request, RespondFn done) override;
+
+ private:
+  struct Job {
+    http::HttpRequest request;
+    RespondFn done;
+  };
+
+  void worker_loop();
+  /// One request/response over the persistent connection; reconnects once.
+  http::HttpResponse round_trip(Fd& conn, const http::HttpRequest& request);
+
+  std::uint16_t port_;
+  std::chrono::milliseconds request_timeout_;
+  std::atomic<bool> stopping_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pprox::net

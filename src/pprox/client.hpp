@@ -1,0 +1,72 @@
+// User-side library (paper §2.1 ➄, §4.2): intercepts the application's REST
+// calls, encrypts identifiers for the two proxy layers, generates the
+// per-request temporary key k_u for get calls, and transparently decrypts
+// and unpads the returned recommendations. Holds no per-user state beyond
+// the globally-known public parameters — the "thin static code" requirement.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "common/result.hpp"
+#include "net/channel.hpp"
+#include "pprox/keys.hpp"
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+class ClientLibrary {
+ public:
+  /// `channel` reaches the UA layer (through any load balancer); `rng`
+  /// must be cryptographically strong in production (defaults to the
+  /// process DRBG).
+  ClientLibrary(ClientParams params, std::shared_ptr<net::HttpChannel> channel,
+                RandomSource* rng = nullptr, std::string tenant_id = "");
+
+  /// post(u, i[, p]): inserts feedback with an optional payload (e.g. a
+  /// rating), required by some recommendation algorithms (paper §2.1).
+  /// The payload is encrypted for the IA layer and forwarded to the LRS in
+  /// usable form. Completion carries the HTTP status.
+  void post(const std::string& user, const std::string& item,
+            std::function<void(Status)> done);
+  void post(const std::string& user, const std::string& item,
+            const std::string& payload, std::function<void(Status)> done);
+
+  /// get(u): collects recommendations (plaintext item ids, padding removed).
+  void get(const std::string& user,
+           std::function<void(Result<std::vector<std::string>>)> done);
+
+  /// Blocking conveniences for tests and examples.
+  Status post_sync(const std::string& user, const std::string& item,
+                   const std::string& payload = "");
+  Result<std::vector<std::string>> get_sync(const std::string& user);
+
+  /// Builds the encrypted post request (exposed for tests/attack harness).
+  Result<http::HttpRequest> build_post_request(const std::string& user,
+                                               const std::string& item,
+                                               const std::string& payload = "");
+
+  struct GetCall {
+    http::HttpRequest request;
+    Bytes k_u;  ///< temporary key; needed to decrypt the response
+  };
+  Result<GetCall> build_get_request(const std::string& user);
+
+  /// Decrypts and unpads a get response given the call's k_u.
+  static Result<std::vector<std::string>> decode_get_response(
+      const http::HttpResponse& response, ByteView k_u);
+
+ private:
+  Result<std::string> encrypt_id_for(const crypto::RsaPublicKey& pk,
+                                     const std::string& id);
+
+  ClientParams params_;
+  std::shared_ptr<net::HttpChannel> channel_;
+  RandomSource* rng_;
+  std::string tenant_id_;  ///< multi-tenant deployments: X-PProx-App value
+};
+
+}  // namespace pprox

@@ -1,0 +1,108 @@
+#include "pprox/deployment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pprox/rotation.hpp"
+
+namespace pprox {
+
+Deployment::Deployment(const DeploymentConfig& config, net::RequestSink& lrs,
+                       RandomSource& rng)
+    : config_(config),
+      authority_(rng),
+      keys_(ApplicationKeys::generate(rng, config.rsa_bits)),
+      client_params_(keys_.client_params()) {
+  lrs_channel_ = std::make_shared<net::InProcChannel>(lrs);
+  build_layers(rng);
+}
+
+void Deployment::build_layers(RandomSource& rng) {
+  // Boot, attest and provision the IA layer first (UA forwards into it).
+  const auto ua_measurement = enclave::Measurement::of_code(kUaCodeIdentity);
+  const auto ia_measurement = enclave::Measurement::of_code(kIaCodeIdentity);
+
+  std::vector<std::shared_ptr<net::HttpChannel>> ia_channels;
+  for (int i = 0; i < config_.ia_instances; ++i) {
+    auto enclave = std::make_unique<enclave::Enclave>(kIaCodeIdentity, rng);
+    authority_.register_platform(*enclave);
+    const Status provisioned = attest_and_provision(
+        *enclave, authority_, ia_measurement, keys_.ia, rng);
+    if (!provisioned.ok()) {
+      throw std::runtime_error("IA provisioning failed: " +
+                               provisioned.error().message);
+    }
+    ProxyOptions options;
+    options.layer = ProxyOptions::Layer::kIa;
+    options.pseudonymize_items = config_.pseudonymize_items;
+    options.authenticated_responses = config_.authenticated_responses;
+    options.shuffle_size = config_.shuffle_size;
+    options.shuffle_timeout = config_.shuffle_timeout;
+    options.worker_threads = config_.worker_threads;
+    auto proxy =
+        std::make_unique<ProxyServer>(options, *enclave, lrs_channel_);
+    ia_channels.push_back(std::make_shared<net::InProcChannel>(*proxy));
+    ia_enclaves_.push_back(std::move(enclave));
+    ia_proxies_.push_back(std::move(proxy));
+  }
+  ia_balancer_ = std::make_shared<net::RoundRobinChannel>(std::move(ia_channels));
+
+  std::vector<std::shared_ptr<net::HttpChannel>> ua_channels;
+  for (int i = 0; i < config_.ua_instances; ++i) {
+    auto enclave = std::make_unique<enclave::Enclave>(kUaCodeIdentity, rng);
+    authority_.register_platform(*enclave);
+    const Status provisioned = attest_and_provision(
+        *enclave, authority_, ua_measurement, keys_.ua, rng);
+    if (!provisioned.ok()) {
+      throw std::runtime_error("UA provisioning failed: " +
+                               provisioned.error().message);
+    }
+    ProxyOptions options;
+    options.layer = ProxyOptions::Layer::kUa;
+    options.shuffle_size = config_.shuffle_size;
+    options.shuffle_timeout = config_.shuffle_timeout;
+    options.worker_threads = config_.worker_threads;
+    auto proxy =
+        std::make_unique<ProxyServer>(options, *enclave, ia_balancer_);
+    ua_channels.push_back(std::make_shared<net::InProcChannel>(*proxy));
+    ua_enclaves_.push_back(std::move(enclave));
+    ua_proxies_.push_back(std::move(proxy));
+  }
+  entry_ = std::make_shared<net::RoundRobinChannel>(std::move(ua_channels));
+}
+
+Status Deployment::rotate(lrs::HarnessServer& lrs, RandomSource& rng) {
+  auto rotation = rotate_keys(keys_, lrs, rng, config_.rsa_bits);
+  if (!rotation.ok()) return rotation.error();
+  keys_ = std::move(rotation.value().new_keys);
+  client_params_ = keys_.client_params();
+
+  // Tear the old stack down (proxies before enclaves before balancers) and
+  // rebuild with fresh enclaves. In-flight requests on old channels drain
+  // against the old proxies before destruction completes.
+  entry_.reset();
+  ua_proxies_.clear();
+  ia_balancer_.reset();
+  ia_proxies_.clear();
+  ua_enclaves_.clear();
+  ia_enclaves_.clear();
+  build_layers(rng);
+  ++key_epoch_;
+  return Status::ok_status();
+}
+
+ClientLibrary Deployment::make_client(RandomSource* rng) const {
+  return ClientLibrary(client_params_, entry_, rng);
+}
+
+int recommend_instance_pairs(double target_rps, double per_pair_capacity_rps,
+                             double headroom) {
+  if (per_pair_capacity_rps <= 0 || headroom <= 0) {
+    throw std::invalid_argument("capacity and headroom must be positive");
+  }
+  const int pairs = static_cast<int>(
+      std::ceil(target_rps / (per_pair_capacity_rps * headroom)));
+  return pairs < 1 ? 1 : pairs;
+}
+
+}  // namespace pprox

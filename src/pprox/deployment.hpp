@@ -1,0 +1,94 @@
+// Full-system assembly: generates application keys, boots UA/IA enclaves on
+// registered platforms, attests and provisions them, stands up proxy
+// instances behind round-robin balancers (the kube-proxy stand-in), and
+// wires everything to an LRS sink. Used by examples, integration tests, and
+// the attack harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "enclave/attestation.hpp"
+#include "net/channel.hpp"
+#include "pprox/client.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/proxy.hpp"
+
+namespace pprox {
+
+struct DeploymentConfig {
+  int ua_instances = 1;
+  int ia_instances = 1;
+  int shuffle_size = 0;  ///< <=1 disables shuffling
+  std::chrono::milliseconds shuffle_timeout{500};
+  bool pseudonymize_items = true;
+  bool authenticated_responses = false;  ///< AES-GCM response protection
+  std::size_t rsa_bits = 1024;        ///< layer key size (tests: 1024)
+  std::size_t worker_threads = 2;
+};
+
+/// A running in-process PProx deployment in front of an LRS sink.
+/// Owns enclaves, proxies and balancers; the LRS sink is borrowed.
+class Deployment {
+ public:
+  /// `lrs` must outlive the deployment.
+  Deployment(const DeploymentConfig& config, net::RequestSink& lrs,
+             RandomSource& rng);
+
+  /// Creates a user-side library bound to this deployment's entry point.
+  ClientLibrary make_client(RandomSource* rng = nullptr) const;
+
+  const ClientParams& client_params() const { return client_params_; }
+  const ApplicationKeys& application_keys() const { return keys_; }
+  const enclave::AttestationService& authority() const { return authority_; }
+
+  std::size_t ua_count() const { return ua_proxies_.size(); }
+  std::size_t ia_count() const { return ia_proxies_.size(); }
+
+  /// Instance access for tests and the attack harness.
+  ProxyServer& ua_proxy(std::size_t i) { return *ua_proxies_.at(i); }
+  ProxyServer& ia_proxy(std::size_t i) { return *ia_proxies_.at(i); }
+  enclave::Enclave& ua_enclave(std::size_t i) { return *ua_enclaves_.at(i); }
+  enclave::Enclave& ia_enclave(std::size_t i) { return *ia_enclaves_.at(i); }
+
+  /// Entry-point channel (what the user-side library talks to).
+  std::shared_ptr<net::HttpChannel> entry_channel() const { return entry_; }
+
+  /// Full breach response (paper §3 footnote 1): generates fresh layer
+  /// secrets, re-encrypts the LRS database, discards every enclave (their
+  /// provisioned secrets are assumed leaked) and boots, attests and
+  /// provisions fresh ones. Existing ClientLibrary instances become stale:
+  /// call make_client() again for the new public parameters. The LRS must
+  /// be retrained afterwards (pseudonym spaces changed).
+  Status rotate(lrs::HarnessServer& lrs, RandomSource& rng);
+
+  /// Number of completed rotations (key epochs) for this deployment.
+  std::uint64_t key_epoch() const { return key_epoch_; }
+
+ private:
+  /// Boots, attests, provisions and wires all proxies from keys_.
+  void build_layers(RandomSource& rng);
+
+  DeploymentConfig config_;
+  enclave::AttestationService authority_;
+  ApplicationKeys keys_;
+  ClientParams client_params_;
+  std::uint64_t key_epoch_ = 0;
+
+  std::vector<std::unique_ptr<enclave::Enclave>> ua_enclaves_;
+  std::vector<std::unique_ptr<enclave::Enclave>> ia_enclaves_;
+  std::shared_ptr<net::HttpChannel> lrs_channel_;
+  std::vector<std::unique_ptr<ProxyServer>> ia_proxies_;
+  std::shared_ptr<net::HttpChannel> ia_balancer_;
+  std::vector<std::unique_ptr<ProxyServer>> ua_proxies_;
+  std::shared_ptr<net::HttpChannel> entry_;
+};
+
+/// Elastic-scaling advisor (paper §5 "Horizontal scaling"): the number of
+/// instance pairs needed for `target_rps`, given the measured per-pair
+/// capacity, with a utilization headroom. Also used to scale *down* so
+/// shuffle buffers keep filling before the timer (latency floor).
+int recommend_instance_pairs(double target_rps, double per_pair_capacity_rps,
+                             double headroom = 0.8);
+
+}  // namespace pprox

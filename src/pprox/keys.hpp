@@ -1,0 +1,60 @@
+// Key material and provisioning for the two proxy layers (paper §4.1).
+//
+// Each layer owns: a public/private pair (pkUA/skUA, pkIA/skIA) for
+// client->layer confidentiality, and a permanent symmetric key (kUA, kIA)
+// for deterministic pseudonymization. The RaaS *client application* (not the
+// provider!) generates these and provisions every enclave of a layer after
+// attesting it.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/rsa.hpp"
+#include "enclave/attestation.hpp"
+#include "enclave/enclave.hpp"
+
+namespace pprox {
+
+/// Secrets provisioned into every enclave of one layer.
+struct LayerSecrets {
+  crypto::RsaPrivateKey sk;  ///< private half of the layer key pair
+  Bytes k;                   ///< 32-byte permanent symmetric key (det. enc.)
+
+  /// Length-prefixed binary encoding (the provisioning payload).
+  Bytes serialize() const;
+  static Result<LayerSecrets> deserialize(ByteView blob);
+};
+
+/// Public parameters shipped to user-side libraries (static web code).
+struct ClientParams {
+  crypto::RsaPublicKey pk_ua;
+  crypto::RsaPublicKey pk_ia;
+};
+
+/// Everything the RaaS client application holds for one application.
+struct ApplicationKeys {
+  LayerSecrets ua;
+  LayerSecrets ia;
+  ClientParams client_params() const;
+
+  /// Generates fresh UA and IA layer keys. `rsa_bits` sizes the layer key
+  /// pairs (tests use 1024; production would use >= 2048).
+  static ApplicationKeys generate(RandomSource& rng, std::size_t rsa_bits = 1024);
+};
+
+/// Expected enclave code identities for the two layers.
+inline constexpr const char* kUaCodeIdentity = "pprox-ua-enclave-v1";
+inline constexpr const char* kIaCodeIdentity = "pprox-ia-enclave-v1";
+
+/// The full attest-then-provision handshake (paper §2.2, §5):
+/// challenge the enclave, verify the quote binds the expected measurement
+/// and the enclave's channel key, then provision the layer secrets encrypted
+/// under that key. Refuses to provision on any verification failure.
+Status attest_and_provision(enclave::Enclave& enclave,
+                            const enclave::AttestationService& authority,
+                            const enclave::Measurement& expected,
+                            const LayerSecrets& secrets, RandomSource& rng);
+
+}  // namespace pprox

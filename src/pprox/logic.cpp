@@ -1,0 +1,154 @@
+#include "pprox/logic.hpp"
+
+#include "common/encoding.hpp"
+#include "crypto/gcm.hpp"
+#include "json/json.hpp"
+
+namespace pprox {
+
+Result<std::string> pseudonymize_field(const crypto::RsaPrivateKey& sk,
+                                       const crypto::DeterministicCipher& det,
+                                       std::string_view base64_cipher) {
+  const auto cipher = base64_decode(base64_cipher);
+  if (!cipher) return Error::parse("field is not valid base64");
+  auto block = crypto::rsa_decrypt_oaep(sk, *cipher);
+  if (!block.ok()) return block.error();
+  if (block.value().size() != kIdBlockSize) {
+    return Error::crypto("decrypted identifier block has wrong size");
+  }
+  // Deterministic pseudonym over the *padded block*: constant size, and the
+  // LRS sees equal pseudonyms for equal identifiers.
+  return base64_encode(det.encrypt(block.value()));
+}
+
+// ---------------------------------------------------------------------------
+// UA layer
+// ---------------------------------------------------------------------------
+
+UaLogic::UaLogic(LayerSecrets secrets)
+    : secrets_(std::move(secrets)), det_(secrets_.k) {}
+
+Result<UaLogic> UaLogic::from_secrets(ByteView secrets_blob) {
+  auto secrets = LayerSecrets::deserialize(secrets_blob);
+  if (!secrets.ok()) return secrets.error();
+  return UaLogic(std::move(secrets.value()));
+}
+
+Result<std::string> UaLogic::transform_request(std::string body) const {
+  const auto user_cipher = json::get_string_field(body, fields::kUser);
+  if (!user_cipher) return Error::parse("request has no user field");
+  auto pseudonym = pseudonymize_field(secrets_.sk, det_, *user_cipher);
+  if (!pseudonym.ok()) return pseudonym.error();
+  json::replace_string_field(body, fields::kUser, pseudonym.value());
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// IA layer
+// ---------------------------------------------------------------------------
+
+IaLogic::IaLogic(LayerSecrets secrets)
+    : secrets_(std::move(secrets)), det_(secrets_.k) {}
+
+Result<IaLogic> IaLogic::from_secrets(ByteView secrets_blob) {
+  auto secrets = LayerSecrets::deserialize(secrets_blob);
+  if (!secrets.ok()) return secrets.error();
+  return IaLogic(std::move(secrets.value()));
+}
+
+Result<Bytes> IaLogic::decrypt_field(std::string_view base64_cipher) const {
+  const auto cipher = base64_decode(base64_cipher);
+  if (!cipher) return Error::parse("field is not valid base64");
+  return crypto::rsa_decrypt_oaep(secrets_.sk, *cipher);
+}
+
+Result<std::string> IaLogic::transform_post_request(std::string body,
+                                                    bool pseudonymize_items) const {
+  const auto item_cipher = json::get_string_field(body, fields::kItem);
+  if (!item_cipher) return Error::parse("post has no item field");
+  if (pseudonymize_items) {
+    auto pseudonym = pseudonymize_field(secrets_.sk, det_, *item_cipher);
+    if (!pseudonym.ok()) return pseudonym.error();
+    json::replace_string_field(body, fields::kItem, pseudonym.value());
+  } else {
+    // §6.3 opt-out: forward the item in the clear for semantics-aware LRS.
+    auto block = decrypt_field(*item_cipher);
+    if (!block.ok()) return block.error();
+    auto id = unpad_identifier(block.value());
+    if (!id.ok()) return id.error();
+    json::replace_string_field(body, fields::kItem, id.value());
+  }
+  // Optional payload (rating, weight, ...): decrypt and forward in usable
+  // form — the LRS needs the actual value, and it carries no identifier.
+  if (const auto payload_cipher =
+          json::get_string_field(body, fields::kPayload)) {
+    auto block = decrypt_field(*payload_cipher);
+    if (!block.ok()) return block.error();
+    auto payload = unpad_identifier(block.value());
+    if (!payload.ok()) return payload.error();
+    json::replace_string_field(body, fields::kPayload,
+                               json::escape(payload.value()));
+  }
+  return body;
+}
+
+Result<IaLogic::GetRequest> IaLogic::transform_get_request(std::string body) const {
+  const auto key_cipher = json::get_string_field(body, fields::kTempKey);
+  if (!key_cipher) return Error::parse("get has no temporary key field");
+  auto k_u = decrypt_field(*key_cipher);
+  if (!k_u.ok()) return k_u.error();
+  if (k_u.value().size() != 32) {
+    return Error::crypto("temporary key has wrong length");
+  }
+  // Strip the key from the forwarded call: the LRS never sees k_u, and all
+  // forwarded get calls look identical in shape.
+  json::replace_string_field(body, fields::kTempKey, "");
+  return GetRequest{std::move(body), std::move(k_u.value())};
+}
+
+Result<std::string> IaLogic::de_pseudonymize_item(
+    std::string_view base64_cipher) const {
+  const auto cipher = base64_decode(base64_cipher);
+  if (!cipher) return Error::parse("pseudonym is not valid base64");
+  if (cipher->size() != kIdBlockSize) {
+    return Error::parse("pseudonym block has wrong size");
+  }
+  return unpad_identifier(det_.decrypt(*cipher));
+}
+
+Result<std::string> IaLogic::transform_get_response(const std::string& lrs_body,
+                                                    ByteView k_u,
+                                                    RandomSource& rng,
+                                                    bool authenticated) const {
+  const auto doc = json::parse(lrs_body);
+  if (!doc.ok()) return doc.error();
+  const json::JsonValue* items = doc.value().find(fields::kItems);
+  if (items == nullptr || !items->is_array()) {
+    return Error::parse("LRS response has no items list");
+  }
+  std::vector<std::string> plain_items;
+  for (const auto& entry : items->as_array()) {
+    if (!entry.is_string()) return Error::parse("non-string item in response");
+    auto id = de_pseudonymize_item(entry.as_string());
+    if (!id.ok()) return id.error();
+    plain_items.push_back(std::move(id.value()));
+  }
+
+  auto block = encode_response_block(pad_recommendations(std::move(plain_items)));
+  if (!block.ok()) return block.error();
+  Bytes encrypted;
+  if (authenticated) {
+    const crypto::AesGcm cipher(k_u);
+    encrypted = cipher.seal_with_random_nonce(block.value(), rng);
+  } else {
+    const crypto::RandomIvCipher cipher(k_u);
+    encrypted = cipher.encrypt(block.value(), rng);
+  }
+
+  json::JsonValue out{json::JsonObject{}};
+  out.set(fields::kPayload, base64_encode(encrypted));
+  out.set(fields::kEncryptionMode, authenticated ? "gcm" : "ctr");
+  return out.dump();
+}
+
+}  // namespace pprox

@@ -1,0 +1,71 @@
+#include "pprox/message.hpp"
+
+#include <cstring>
+
+#include "json/json.hpp"
+
+namespace pprox {
+
+Result<Bytes> pad_identifier(std::string_view id) {
+  if (id.size() > kMaxIdLength) {
+    return Error::invalid("identifier longer than " +
+                          std::to_string(kMaxIdLength) + " bytes");
+  }
+  Bytes block(kIdBlockSize, 0);
+  block[0] = static_cast<std::uint8_t>(id.size() >> 8);
+  block[1] = static_cast<std::uint8_t>(id.size());
+  std::memcpy(block.data() + 2, id.data(), id.size());
+  return block;
+}
+
+Result<std::string> unpad_identifier(ByteView block) {
+  if (block.size() != kIdBlockSize) {
+    return Error::parse("identifier block has wrong size");
+  }
+  const std::size_t len =
+      (static_cast<std::size_t>(block[0]) << 8) | block[1];
+  if (len > kMaxIdLength) return Error::parse("identifier length corrupt");
+  return std::string(reinterpret_cast<const char*>(block.data()) + 2, len);
+}
+
+std::vector<std::string> pad_recommendations(std::vector<std::string> items) {
+  if (items.size() > kMaxRecommendations) items.resize(kMaxRecommendations);
+  std::size_t pad_index = 0;
+  while (items.size() < kMaxRecommendations) {
+    items.push_back(kPadItemPrefix + std::to_string(pad_index++));
+  }
+  return items;
+}
+
+std::vector<std::string> strip_pad_items(std::vector<std::string> items) {
+  const std::string prefix = kPadItemPrefix;
+  std::erase_if(items, [&prefix](const std::string& item) {
+    return item.compare(0, prefix.size(), prefix) == 0;
+  });
+  return items;
+}
+
+Result<Bytes> encode_response_block(const std::vector<std::string>& items) {
+  json::JsonArray arr;
+  for (const auto& item : items) arr.emplace_back(item);
+  std::string text = json::JsonValue(std::move(arr)).dump();
+  if (text.size() > kResponseBlockSize) {
+    return Error::invalid("recommendation list exceeds response block");
+  }
+  text.resize(kResponseBlockSize, ' ');  // JSON parsers ignore the padding
+  return to_bytes(text);
+}
+
+Result<std::vector<std::string>> decode_response_block(ByteView block) {
+  const auto doc = json::parse(to_string(block));
+  if (!doc.ok()) return doc.error();
+  if (!doc.value().is_array()) return Error::parse("response block not a list");
+  std::vector<std::string> items;
+  for (const auto& entry : doc.value().as_array()) {
+    if (!entry.is_string()) return Error::parse("non-string item in list");
+    items.push_back(entry.as_string());
+  }
+  return items;
+}
+
+}  // namespace pprox

@@ -1,0 +1,70 @@
+// PProx wire format (paper §4.3 + §5): fixed-size identifier blocks so every
+// encrypted message between client, UA, IA and LRS has constant size;
+// base64-encoded ciphertexts inside JSON payloads; response lists padded to
+// a maximum length with pseudo-items that the user-side library discards.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace pprox {
+
+/// Fixed plaintext block size for user/item identifiers before encryption.
+/// Must fit one RSA-OAEP-SHA256 payload for the smallest supported layer key
+/// (1024-bit => 62 bytes), so 48 with a 2-byte length prefix.
+inline constexpr std::size_t kIdBlockSize = 48;
+
+/// Maximum identifier length the block can carry.
+inline constexpr std::size_t kMaxIdLength = kIdBlockSize - 2;
+
+/// Recommendation lists are padded to exactly this many entries (paper: 20).
+inline constexpr std::size_t kMaxRecommendations = 20;
+
+/// Fixed plaintext size for the serialized recommendation list before its
+/// encryption under k_u, so get responses are constant-size on the wire.
+inline constexpr std::size_t kResponseBlockSize = 2048;
+
+/// Prefix marking padding pseudo-items; discarded by the client library.
+inline constexpr const char* kPadItemPrefix = "__pprox_pad_";
+
+/// JSON field names used on the wire.
+namespace fields {
+inline constexpr const char* kUser = "user";
+inline constexpr const char* kItem = "item";
+inline constexpr const char* kTempKey = "k";
+inline constexpr const char* kItems = "items";
+inline constexpr const char* kPayload = "payload";
+inline constexpr const char* kEncryptionMode = "enc";
+}  // namespace fields
+
+/// REST targets (identical to the LRS API — the proxy is transparent).
+namespace paths {
+inline constexpr const char* kEvents = "/engines/ur/events";
+inline constexpr const char* kQueries = "/engines/ur/queries";
+}  // namespace paths
+
+/// Encodes an identifier into a fixed-size block: [2-byte length][id][zeros].
+/// Fails when the identifier exceeds kMaxIdLength.
+Result<Bytes> pad_identifier(std::string_view id);
+
+/// Inverse of pad_identifier.
+Result<std::string> unpad_identifier(ByteView block);
+
+/// Pads a recommendation list to kMaxRecommendations with pseudo-items.
+std::vector<std::string> pad_recommendations(std::vector<std::string> items);
+
+/// Removes padding pseudo-items (client side).
+std::vector<std::string> strip_pad_items(std::vector<std::string> items);
+
+/// Serializes a recommendation list to a fixed-size plaintext block
+/// (JSON array + space padding). Fails if the list does not fit.
+Result<Bytes> encode_response_block(const std::vector<std::string>& items);
+
+/// Parses a fixed-size response block back into the item list.
+Result<std::vector<std::string>> decode_response_block(ByteView block);
+
+}  // namespace pprox

@@ -1,0 +1,221 @@
+#include "pprox/proxy.hpp"
+
+#include "common/logging.hpp"
+
+namespace pprox {
+
+std::uint64_t PendingStore::put(Bytes k_u) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t handle = next_++;
+  pending_.emplace(handle, std::move(k_u));
+  return handle;
+}
+
+Result<Bytes> PendingStore::take(std::uint64_t handle) {
+  std::lock_guard lock(mutex_);
+  const auto it = pending_.find(handle);
+  if (it == pending_.end()) {
+    return Error::not_found("no pending state for handle");
+  }
+  Bytes k_u = std::move(it->second);
+  pending_.erase(it);
+  return k_u;
+}
+
+std::size_t PendingStore::size() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+ProxyServer::ProxyServer(ProxyOptions options, enclave::Enclave& enclave,
+                         std::shared_ptr<net::HttpChannel> next)
+    : options_(options),
+      enclave_(&enclave),
+      next_(std::move(next)),
+      workers_(options.worker_threads),
+      request_shuffle_(options.layer == ProxyOptions::Layer::kUa
+                           ? options.shuffle_size
+                           : 0,
+                       options.shuffle_timeout),
+      response_shuffle_(options.layer == ProxyOptions::Layer::kIa
+                            ? options.shuffle_size
+                            : 0,
+                        options.shuffle_timeout) {
+  // Initial ecall: deserialize the provisioned secrets into enclave-resident
+  // logic objects. Throws if the enclave was not attested+provisioned first.
+  // The blob is either one application's LayerSecrets or a TenantKeyring.
+  enclave_->ecall([this](ByteView secrets) {
+    std::map<std::string, Bytes> blobs;
+    if (TenantKeyring::looks_like_keyring(secrets)) {
+      auto keyring = TenantKeyring::deserialize(secrets);
+      if (!keyring.ok()) throw std::runtime_error(keyring.error().message);
+      for (const auto& [id, layer_secrets] : keyring.value().tenants) {
+        blobs.emplace(id, layer_secrets.serialize());
+      }
+    } else {
+      blobs.emplace(kDefaultTenant, Bytes(secrets.begin(), secrets.end()));
+    }
+    for (const auto& [id, blob] : blobs) {
+      if (options_.layer == ProxyOptions::Layer::kUa) {
+        auto logic = UaLogic::from_secrets(blob);
+        if (!logic.ok()) throw std::runtime_error(logic.error().message);
+        ua_logics_.emplace(id, std::move(logic.value()));
+      } else {
+        auto logic = IaLogic::from_secrets(blob);
+        if (!logic.ok()) throw std::runtime_error(logic.error().message);
+        ia_logics_.emplace(id, std::move(logic.value()));
+      }
+    }
+    return 0;
+  });
+}
+
+std::string ProxyServer::tenant_of(const http::HttpRequest& request) {
+  const std::string* header = request.header(kTenantHeader);
+  return header != nullptr ? *header : kDefaultTenant;
+}
+
+const UaLogic* ProxyServer::ua_logic_for(const std::string& tenant) const {
+  const auto it = ua_logics_.find(tenant);
+  return it == ua_logics_.end() ? nullptr : &it->second;
+}
+
+const IaLogic* ProxyServer::ia_logic_for(const std::string& tenant) const {
+  const auto it = ia_logics_.find(tenant);
+  return it == ia_logics_.end() ? nullptr : &it->second;
+}
+
+ProxyServer::~ProxyServer() {
+  // Release queued work before tearing down the worker pool.
+  request_shuffle_.flush_now();
+  response_shuffle_.flush_now();
+  workers_.shutdown();
+}
+
+void ProxyServer::fail(const net::RespondFn& done, int status,
+                       std::string_view message) {
+  errors_.fetch_add(1);
+  done(http::HttpResponse::error_response(status, message));
+}
+
+void ProxyServer::handle(http::HttpRequest request, net::RespondFn done) {
+  requests_seen_.fetch_add(1);
+  // The server part only schedules; all payload access happens in the
+  // enclave data-processing pool.
+  workers_.submit([this, request = std::move(request),
+                   done = std::move(done)]() mutable {
+    if (options_.layer == ProxyOptions::Layer::kUa) {
+      handle_ua(std::move(request), std::move(done));
+    } else {
+      handle_ia(std::move(request), std::move(done));
+    }
+  });
+}
+
+void ProxyServer::handle_ua(http::HttpRequest request, net::RespondFn done) {
+  const UaLogic* logic = ua_logic_for(tenant_of(request));
+  if (logic == nullptr) {
+    fail(done, 403, "unknown tenant application");
+    return;
+  }
+  auto transformed = enclave_->ecall([logic, &request](ByteView) {
+    return logic->transform_request(std::move(request.body));
+  });
+  if (!transformed.ok()) {
+    fail(done, 400, transformed.error().message);
+    return;
+  }
+  request.body = std::move(transformed.value());
+  request.set_header("Content-Length", std::to_string(request.body.size()));
+
+  // Shuffle outbound requests towards the IA layer.
+  request_shuffle_.add([this, request = std::move(request),
+                        done = std::move(done)]() mutable {
+    next_->send(std::move(request), [done = std::move(done)](
+                                        http::HttpResponse response) {
+      // Responses pass through the UA untouched (opaque to this layer).
+      done(std::move(response));
+    });
+  });
+}
+
+void ProxyServer::handle_ia(http::HttpRequest request, net::RespondFn done) {
+  const IaLogic* logic = ia_logic_for(tenant_of(request));
+  if (logic == nullptr) {
+    fail(done, 403, "unknown tenant application");
+    return;
+  }
+  const bool is_get = request.target == paths::kQueries;
+  if (!is_get) {
+    auto transformed = enclave_->ecall([this, logic, &request](ByteView) {
+      return logic->transform_post_request(std::move(request.body),
+                                           options_.pseudonymize_items);
+    });
+    if (!transformed.ok()) {
+      fail(done, 400, transformed.error().message);
+      return;
+    }
+    request.body = std::move(transformed.value());
+    request.set_header("Content-Length", std::to_string(request.body.size()));
+    next_->send(std::move(request),
+                [this, done = std::move(done)](http::HttpResponse response) {
+                  // Post responses carry no payload worth hiding, but they
+                  // are shuffled like everything else on the return path.
+                  response_shuffle_.add([done = std::move(done),
+                                         response = std::move(response)]() mutable {
+                    done(std::move(response));
+                  });
+                });
+    return;
+  }
+
+  // get: recover k_u inside the enclave and park it in the EPC store.
+  auto transformed = enclave_->ecall([logic, &request](ByteView) {
+    return logic->transform_get_request(std::move(request.body));
+  });
+  if (!transformed.ok()) {
+    fail(done, 400, transformed.error().message);
+    return;
+  }
+  const std::uint64_t handle = pending_.put(std::move(transformed.value().k_u));
+  request.body = std::move(transformed.value().body);
+  request.set_header("Content-Length", std::to_string(request.body.size()));
+
+  next_->send(std::move(request), [this, logic, handle, done = std::move(done)](
+                                      http::HttpResponse response) mutable {
+    // Process the LRS response in the enclave pool, not the transport thread.
+    workers_.submit([this, logic, handle, done = std::move(done),
+                     response = std::move(response)]() mutable {
+      auto k_u = pending_.take(handle);
+      if (!k_u.ok()) {
+        fail(done, 500, "lost pending response state");
+        return;
+      }
+      if (response.status != 200) {
+        // Propagate LRS errors (still shuffled).
+        response_shuffle_.add([done = std::move(done),
+                               response = std::move(response)]() mutable {
+          done(std::move(response));
+        });
+        return;
+      }
+      auto body = enclave_->ecall([this, logic, &response, &k_u](ByteView) {
+        return logic->transform_get_response(response.body, k_u.value(),
+                                             enclave_rng_,
+                                             options_.authenticated_responses);
+      });
+      if (!body.ok()) {
+        fail(done, 502, body.error().message);
+        return;
+      }
+      http::HttpResponse out = http::HttpResponse::json_response(
+          200, std::move(body.value()));
+      response_shuffle_.add(
+          [done = std::move(done), out = std::move(out)]() mutable {
+            done(std::move(out));
+          });
+    });
+  });
+}
+
+}  // namespace pprox

@@ -1,0 +1,102 @@
+// The proxy service instance (paper §5): an untrusted server part (request
+// scheduling, shuffling, routing — here hosted on any RequestSink transport)
+// driving in-enclave data processing through ecalls into the hosted TEE.
+// One ProxyServer is one UA or IA instance; horizontal scaling runs several
+// behind a RoundRobinChannel.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "concurrent/thread_pool.hpp"
+#include "crypto/drbg.hpp"
+#include "enclave/enclave.hpp"
+#include "net/channel.hpp"
+#include "pprox/logic.hpp"
+#include "pprox/shuffle.hpp"
+#include "pprox/tenancy.hpp"
+
+namespace pprox {
+
+/// In-EPC store for per-request state awaiting the LRS response (paper §5:
+/// "an in-memory key-value store in the EPC holds the information necessary
+/// for handling request responses"). Holds k_u for in-flight get calls.
+class PendingStore {
+ public:
+  std::uint64_t put(Bytes k_u);
+  /// Fetches and removes; empty result when the handle is unknown.
+  Result<Bytes> take(std::uint64_t handle);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Bytes> pending_;
+  std::uint64_t next_ = 1;
+};
+
+struct ProxyOptions {
+  enum class Layer { kUa, kIa };
+  Layer layer = Layer::kUa;
+  bool pseudonymize_items = true;  ///< §6.3 opt-out when false (IA only)
+  bool authenticated_responses = false;  ///< AES-GCM for get responses (IA)
+  int shuffle_size = 0;            ///< S; <=1 disables shuffling
+  std::chrono::milliseconds shuffle_timeout{500};
+  std::size_t worker_threads = 2;  ///< enclave data-processing pool (2-core NUC)
+};
+
+/// One proxy instance. The enclave must be attested and provisioned before
+/// construction (the ctor performs the initial ecall that deserializes the
+/// layer secrets into enclave-resident logic state). The provisioning blob
+/// may be a single application's LayerSecrets or a multi-tenant
+/// TenantKeyring (paper §6.3): with a keyring, requests select their tenant
+/// via the X-PProx-App header and all tenants share the shuffle buffers.
+class ProxyServer final : public net::RequestSink {
+ public:
+  ProxyServer(ProxyOptions options, enclave::Enclave& enclave,
+              std::shared_ptr<net::HttpChannel> next);
+  ~ProxyServer() override;
+
+  void handle(http::HttpRequest request, net::RespondFn done) override;
+
+  /// Counters for tests/benches.
+  std::uint64_t requests_seen() const { return requests_seen_.load(); }
+  std::uint64_t errors() const { return errors_.load(); }
+  std::size_t tenant_count() const {
+    return options_.layer == ProxyOptions::Layer::kUa ? ua_logics_.size()
+                                                      : ia_logics_.size();
+  }
+  const enclave::Enclave& hosted_enclave() const { return *enclave_; }
+  std::size_t pending_responses() const { return pending_.size(); }
+
+ private:
+  void handle_ua(http::HttpRequest request, net::RespondFn done);
+  void handle_ia(http::HttpRequest request, net::RespondFn done);
+  void fail(const net::RespondFn& done, int status, std::string_view message);
+  /// Tenant id named by the request header (kDefaultTenant when absent).
+  static std::string tenant_of(const http::HttpRequest& request);
+  const UaLogic* ua_logic_for(const std::string& tenant) const;
+  const IaLogic* ia_logic_for(const std::string& tenant) const;
+
+  ProxyOptions options_;
+  enclave::Enclave* enclave_;
+  std::shared_ptr<net::HttpChannel> next_;
+
+  // Enclave-resident state (created inside the provisioning ecall; modelled
+  // as living in EPC memory — never readable by the host). One logic
+  // instance per tenant; single-application deployments use kDefaultTenant.
+  std::map<std::string, UaLogic> ua_logics_;
+  std::map<std::string, IaLogic> ia_logics_;
+  PendingStore pending_;
+  crypto::Drbg enclave_rng_;
+
+  concurrent::ThreadPool workers_;
+  ShuffleQueue request_shuffle_;   ///< UA: outbound requests (to IA)
+  ShuffleQueue response_shuffle_;  ///< IA: outbound responses (to UA)
+
+  std::atomic<std::uint64_t> requests_seen_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace pprox

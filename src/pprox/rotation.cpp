@@ -1,0 +1,98 @@
+#include "pprox/rotation.hpp"
+
+#include <numeric>
+
+#include "common/encoding.hpp"
+#include "crypto/ctr.hpp"
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+void BreachMonitor::record(const std::string& id, double ecall_latency_ms) {
+  Track& track = tracks_[id];
+  if (track.baseline_count < baseline_samples_) {
+    track.baseline_sum += ecall_latency_ms;
+    ++track.baseline_count;
+    return;
+  }
+  track.recent.push_back(ecall_latency_ms);
+  if (track.recent.size() > window_) track.recent.pop_front();
+}
+
+double BreachMonitor::baseline_ms(const std::string& id) const {
+  const auto it = tracks_.find(id);
+  if (it == tracks_.end() || it->second.baseline_count < baseline_samples_) {
+    return 0;
+  }
+  return it->second.baseline_sum / static_cast<double>(it->second.baseline_count);
+}
+
+bool BreachMonitor::attack_suspected(const std::string& id) const {
+  const auto it = tracks_.find(id);
+  if (it == tracks_.end()) return false;
+  const Track& track = it->second;
+  // Only alarm with an established baseline and a full recent window —
+  // a cold or idle enclave must not trip the detector.
+  if (track.baseline_count < baseline_samples_ || track.recent.size() < window_) {
+    return false;
+  }
+  const double baseline =
+      track.baseline_sum / static_cast<double>(track.baseline_count);
+  const double recent =
+      std::accumulate(track.recent.begin(), track.recent.end(), 0.0) /
+      static_cast<double>(track.recent.size());
+  return recent > baseline * factor_;
+}
+
+namespace {
+
+/// De-pseudonymizes a base64 block with `key`; error when malformed.
+Result<std::string> strip_pseudonym(const Bytes& key, const std::string& field) {
+  const auto cipher = base64_decode(field);
+  if (!cipher || cipher->size() != kIdBlockSize) {
+    return Error::parse("pseudonym malformed during rotation");
+  }
+  const crypto::DeterministicCipher det(key);
+  return unpad_identifier(det.decrypt(*cipher));
+}
+
+Result<std::string> make_pseudonym(const Bytes& key, const std::string& id) {
+  auto block = pad_identifier(id);
+  if (!block.ok()) return block.error();
+  const crypto::DeterministicCipher det(key);
+  return base64_encode(det.encrypt(block.value()));
+}
+
+}  // namespace
+
+Result<RotationResult> rotate_keys(const ApplicationKeys& old_keys,
+                                   lrs::HarnessServer& lrs, RandomSource& rng,
+                                   std::size_t rsa_bits) {
+  RotationResult result;
+  result.new_keys = ApplicationKeys::generate(rng, rsa_bits);
+
+  // Download + re-encrypt locally. Nothing is written back until every row
+  // re-encrypted cleanly, so a corrupt row cannot leave the store half-rotated.
+  const auto rows = lrs.dump_event_rows();
+  std::vector<lrs::HarnessServer::EventRow> rotated;
+  rotated.reserve(rows.size());
+  for (const auto& row : rows) {
+    auto user = strip_pseudonym(old_keys.ua.k, row.user);
+    if (!user.ok()) return user.error();
+    auto item = strip_pseudonym(old_keys.ia.k, row.item);
+    if (!item.ok()) return item.error();
+    auto new_user = make_pseudonym(result.new_keys.ua.k, user.value());
+    if (!new_user.ok()) return new_user.error();
+    auto new_item = make_pseudonym(result.new_keys.ia.k, item.value());
+    if (!new_item.ok()) return new_item.error();
+    rotated.push_back({std::move(new_user.value()), std::move(new_item.value()),
+                       row.payload});
+  }
+
+  // Re-upload under the fresh pseudonym space.
+  lrs.replace_all_events(rotated);
+  result.rows_reencrypted = rotated.size();
+  return result;
+}
+
+}  // namespace pprox

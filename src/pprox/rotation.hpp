@@ -1,0 +1,70 @@
+// Breach response (paper §3, footnote 1). Side-channel attacks against SGX
+// are detectable — they run for tens of minutes and degrade the victim
+// enclave's performance (Varys, Déjà Vu, Cloak). Once a breach is suspected,
+// the secrets provisioned to the broken layer must be considered public and
+// the application rotates:
+//   1. generate fresh layer secrets,
+//   2. download the LRS state, re-encrypt the pseudonyms locally, re-upload
+//      (one of the footnote's listed options),
+//   3. provision fresh enclaves and ship new public parameters to clients.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "lrs/harness.hpp"
+#include "pprox/keys.hpp"
+
+namespace pprox {
+
+/// Performance-based attack detector (Varys/Déjà-Vu stand-in): tracks a
+/// baseline of per-ecall latencies per enclave and raises an alarm when the
+/// recent average rises by more than `degradation_factor` over the baseline
+/// — the signature of cache-priming/page-fault side channels.
+class BreachMonitor {
+ public:
+  explicit BreachMonitor(double degradation_factor = 2.0,
+                         std::size_t baseline_samples = 32,
+                         std::size_t window = 16)
+      : factor_(degradation_factor),
+        baseline_samples_(baseline_samples),
+        window_(window) {}
+
+  /// Feeds one observed ecall latency for the enclave identified by `id`.
+  void record(const std::string& id, double ecall_latency_ms);
+
+  /// True when the recent window is degraded vs the established baseline.
+  bool attack_suspected(const std::string& id) const;
+
+  /// Baseline mean (0 until established). Exposed for tests.
+  double baseline_ms(const std::string& id) const;
+
+ private:
+  struct Track {
+    double baseline_sum = 0;
+    std::size_t baseline_count = 0;
+    std::deque<double> recent;
+  };
+  double factor_;
+  std::size_t baseline_samples_;
+  std::size_t window_;
+  std::map<std::string, Track> tracks_;
+};
+
+/// Outcome of a key-rotation pass.
+struct RotationResult {
+  ApplicationKeys new_keys;
+  std::size_t rows_reencrypted = 0;
+};
+
+/// Rotates both layers' secrets and re-encrypts the LRS database in place:
+/// every stored (user, item) pseudonym pair is de-pseudonymized with the old
+/// permanent keys and re-pseudonymized with fresh ones. Fails without
+/// touching the LRS if any row cannot be decrypted (corrupt state). After
+/// rotation the old secrets — even if fully leaked — decrypt nothing, and
+/// the LRS must be retrained (pseudonym spaces changed).
+Result<RotationResult> rotate_keys(const ApplicationKeys& old_keys,
+                                   lrs::HarnessServer& lrs, RandomSource& rng,
+                                   std::size_t rsa_bits = 1024);
+
+}  // namespace pprox

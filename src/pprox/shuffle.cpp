@@ -1,0 +1,89 @@
+#include "pprox/shuffle.hpp"
+
+namespace pprox {
+
+ShuffleQueue::ShuffleQueue(int size, std::chrono::milliseconds timeout)
+    : size_(size), timeout_(timeout) {
+  if (size_ > 1) {
+    timer_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+ShuffleQueue::~ShuffleQueue() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
+  flush_now();  // do not strand queued work
+}
+
+void ShuffleQueue::add(std::function<void()> release) {
+  if (size_ <= 1) {
+    release();
+    return;
+  }
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(mutex_);
+    buffer_.push_back(std::move(release));
+    if (static_cast<int>(buffer_.size()) >= size_) {
+      batch.swap(buffer_);
+      deadline_armed_ = false;
+    } else if (buffer_.size() == 1) {
+      deadline_ = std::chrono::steady_clock::now() + timeout_;
+      deadline_armed_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (!batch.empty()) run_batch(std::move(batch));
+}
+
+void ShuffleQueue::flush_now() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(mutex_);
+    batch.swap(buffer_);
+    deadline_armed_ = false;
+  }
+  if (!batch.empty()) run_batch(std::move(batch));
+}
+
+std::size_t ShuffleQueue::buffered() const {
+  std::lock_guard lock(mutex_);
+  return buffer_.size();
+}
+
+void ShuffleQueue::run_batch(std::vector<std::function<void()>> batch) {
+  shuffle(batch, rng_);
+  {
+    std::lock_guard lock(mutex_);
+    ++flushes_;
+  }
+  for (auto& action : batch) action();
+}
+
+void ShuffleQueue::timer_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (!deadline_armed_) {
+      cv_.wait(lock, [this] { return stopping_ || deadline_armed_; });
+      continue;
+    }
+    if (cv_.wait_until(lock, deadline_, [this] {
+          return stopping_ || !deadline_armed_;
+        })) {
+      continue;  // re-armed, flushed by size, or stopping
+    }
+    // Deadline reached with the buffer still pending: flush it.
+    std::vector<std::function<void()>> batch;
+    batch.swap(buffer_);
+    deadline_armed_ = false;
+    lock.unlock();
+    if (!batch.empty()) run_batch(std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace pprox

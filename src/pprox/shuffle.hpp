@@ -1,0 +1,57 @@
+// Request/response shuffling buffer (paper §4.3, Fig. 5): actions are
+// buffered until S of them are pending or a timer expires, then released in
+// randomized order. Breaks the temporal correlation between a proxy layer's
+// inbound and outbound messages.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pprox {
+
+class ShuffleQueue {
+ public:
+  /// size <= 1 disables buffering (actions pass straight through).
+  /// The timer bounds worst-case queuing delay under low traffic.
+  ShuffleQueue(int size, std::chrono::milliseconds timeout);
+  ~ShuffleQueue();
+
+  ShuffleQueue(const ShuffleQueue&) = delete;
+  ShuffleQueue& operator=(const ShuffleQueue&) = delete;
+
+  /// Adds a release action. May synchronously flush (and run actions on the
+  /// calling thread) when the buffer reaches S.
+  void add(std::function<void()> release);
+
+  /// Forces an immediate flush (used by tests and shutdown).
+  void flush_now();
+
+  std::size_t buffered() const;
+  std::uint64_t flush_count() const { return flushes_; }
+
+ private:
+  void timer_loop();
+  void run_batch(std::vector<std::function<void()>> batch);
+
+  const int size_;
+  const std::chrono::milliseconds timeout_;
+  crypto::Drbg rng_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> buffer_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool deadline_armed_ = false;
+  bool stopping_ = false;
+  std::uint64_t flushes_ = 0;
+  std::thread timer_;
+};
+
+}  // namespace pprox

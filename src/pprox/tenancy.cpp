@@ -1,0 +1,69 @@
+#include "pprox/tenancy.hpp"
+
+namespace pprox {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'P', 'P', 'X', 'T'};
+
+void put_u16(Bytes& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_u16(ByteView blob, std::size_t& offset, std::size_t& v) {
+  if (offset + 2 > blob.size()) return false;
+  v = (static_cast<std::size_t>(blob[offset]) << 8) | blob[offset + 1];
+  offset += 2;
+  return true;
+}
+
+}  // namespace
+
+bool TenantKeyring::looks_like_keyring(ByteView blob) {
+  return blob.size() >= 4 && blob[0] == kMagic[0] && blob[1] == kMagic[1] &&
+         blob[2] == kMagic[2] && blob[3] == kMagic[3];
+}
+
+Bytes TenantKeyring::serialize() const {
+  Bytes out(kMagic, kMagic + 4);
+  put_u16(out, tenants.size());
+  for (const auto& [id, secrets] : tenants) {
+    put_u16(out, id.size());
+    append(out, to_bytes(id));
+    const Bytes blob = secrets.serialize();
+    put_u16(out, blob.size());
+    append(out, blob);
+  }
+  return out;
+}
+
+Result<TenantKeyring> TenantKeyring::deserialize(ByteView blob) {
+  if (!looks_like_keyring(blob)) {
+    return Error::parse("keyring: bad magic");
+  }
+  std::size_t offset = 4;
+  std::size_t count = 0;
+  if (!get_u16(blob, offset, count)) return Error::parse("keyring: truncated");
+
+  TenantKeyring keyring;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t id_len = 0;
+    if (!get_u16(blob, offset, id_len) || offset + id_len > blob.size()) {
+      return Error::parse("keyring: truncated tenant id");
+    }
+    const std::string id = to_string(blob.subspan(offset, id_len));
+    offset += id_len;
+    std::size_t secret_len = 0;
+    if (!get_u16(blob, offset, secret_len) || offset + secret_len > blob.size()) {
+      return Error::parse("keyring: truncated secrets");
+    }
+    auto secrets = LayerSecrets::deserialize(blob.subspan(offset, secret_len));
+    if (!secrets.ok()) return secrets.error();
+    offset += secret_len;
+    keyring.tenants.emplace(id, std::move(secrets.value()));
+  }
+  if (offset != blob.size()) return Error::parse("keyring: trailing bytes");
+  return keyring;
+}
+
+}  // namespace pprox

@@ -1,0 +1,38 @@
+// Multi-tenancy (paper §6.3 "Assumption on traffic"): a RaaS provider can
+// run ONE proxy layer for MANY client applications, so low-traffic tenants
+// still see full shuffle buffers (their requests mix with other tenants').
+// Each tenant keeps its own layer secrets; an enclave is provisioned with a
+// keyring mapping tenant ids to secrets. The trade-off the paper notes —
+// one breached enclave now leaks several tenants' layer secrets (still only
+// one LAYER each) — is intrinsic and tested.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "pprox/keys.hpp"
+
+namespace pprox {
+
+/// Request header naming the tenant application. The tenant id identifies
+/// the *application*, never a user, so it travels in the clear.
+inline constexpr const char* kTenantHeader = "X-PProx-App";
+
+/// Default tenant id used by single-application deployments.
+inline constexpr const char* kDefaultTenant = "";
+
+/// Per-layer secrets for a set of tenant applications.
+struct TenantKeyring {
+  std::map<std::string, LayerSecrets> tenants;
+
+  /// Binary encoding with a magic prefix, so provisioning blobs are
+  /// self-describing (an enclave accepts either a bare LayerSecrets or a
+  /// keyring).
+  Bytes serialize() const;
+  static Result<TenantKeyring> deserialize(ByteView blob);
+
+  /// True when `blob` starts with the keyring magic.
+  static bool looks_like_keyring(ByteView blob);
+};
+
+}  // namespace pprox

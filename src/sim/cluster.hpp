@@ -1,0 +1,125 @@
+// Simulated deployment of PProx + LRS on a cluster, mirroring the paper's
+// testbed (§8): 2-core NUC nodes, one UA/IA proxy layer pair, an LRS that is
+// either the nginx stub (micro-benchmarks) or the Harness model
+// (macro-benchmarks), an open-loop injector, and the candlestick metric
+// pipeline (warm-up/cool-down trimming, repetitions).
+//
+// CPU costs are *calibrated from real measurements* of this repository's own
+// crypto/JSON/HTTP code (bench_crypto, bench_json_http), scaled to the
+// paper's mobile-grade NUC cores; EXPERIMENTS.md records the mapping.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/des.hpp"
+
+namespace pprox::sim {
+
+/// Per-operation CPU and network costs (milliseconds).
+struct CostModel {
+  // Network.
+  double hop_ms = 0.25;            ///< intra-cluster one-way latency
+  double client_hop_ms = 1.0;      ///< client <-> RaaS cloud (same region)
+  // Proxy instance per-traversal CPU.
+  double parse_forward_ms = 0.9;   ///< epoll + HTTP/JSON handling, request path
+  double rsa_decrypt_ms = 3.2;     ///< RSA private op (user id / item id / k_u)
+  double det_enc_ms = 0.15;        ///< deterministic AES-CTR pseudonymization
+  double response_reencrypt_ms = 1.6;  ///< IA: de-pseudonymize + re-encrypt list
+  double response_forward_ms = 0.6;    ///< response-path handling per layer
+  double sgx_ecall_ms = 0.45;      ///< enclave transition + EPC paging per call
+  double client_encrypt_ms = 1.2;  ///< user-side library RSA encryptions
+  /// Multiplicative lognormal jitter (sigma) applied to every CPU service
+  /// time: real packet handling is never perfectly deterministic.
+  double cpu_jitter_sigma = 0.12;
+  // Stub LRS (nginx static payload).
+  double stub_service_ms = 1.5;
+  int stub_concurrency = 16;
+  // Harness LRS (UR queries over Elasticsearch/MongoDB).
+  double harness_median_ms = 21.0;
+  double harness_sigma = 0.45;
+  int harness_concurrency_per_node = 2;
+};
+
+/// Proxy service deployment knobs — one row of Table 2 / Table 3.
+struct ProxyConfig {
+  bool enabled = true;               ///< false = baseline without PProx (b1-b4)
+  bool encryption = true;            ///< m1 disables
+  bool item_pseudonymization = true; ///< m4 disables (enc = ★)
+  bool sgx = true;                   ///< m2 disables
+  int shuffle_size = 0;              ///< S; 0 disables shuffling
+  double shuffle_timeout_ms = 500;   ///< flush timer
+  int ua_instances = 1;
+  int ia_instances = 1;
+  int cores_per_instance = 2;        ///< NUCs have 2 cores
+};
+
+/// LRS deployment knobs.
+struct LrsConfig {
+  enum class Kind { kStub, kHarness };
+  Kind kind = Kind::kStub;
+  int frontend_nodes = 1;  ///< Harness front-end count (3..12 in the paper)
+};
+
+/// Injection parameters, matching §8's methodology.
+struct WorkloadConfig {
+  double rps = 250;
+  double duration_ms = 60'000;
+  double warmup_ms = 10'000;    ///< trimmed from the front
+  double cooldown_ms = 10'000;  ///< trimmed from the back
+  double get_fraction = 1.0;    ///< remainder are post requests
+  int repetitions = 3;          ///< aggregated like the paper's 6 runs
+  std::uint64_t seed = 1;
+};
+
+/// Where a message was observed on the wire — the adversary's vantage
+/// points (paper §2.3 ➌: it monitors all internal and external flows).
+enum class FlowPoint {
+  kClientToUa,
+  kUaToIa,
+  kIaToLrs,
+  kLrsToIa,
+  kIaToUa,
+  kUaToClient,
+};
+
+/// One observed (encrypted, constant-size) packet. `from_instance` /
+/// `to_instance` are proxy instance indices where applicable (-1 for the
+/// client or the LRS end).
+struct FlowEvent {
+  SimTime time;
+  FlowPoint point;
+  std::uint64_t request_id;  ///< ground truth, unavailable to the adversary
+  int from_instance;
+  int to_instance;
+  bool is_response;
+};
+
+/// Aggregate outcome of one simulated experiment.
+struct RunResult {
+  SampleStats latencies;      ///< round-trip ms, trimmed window, all reps
+  std::size_t injected = 0;
+  std::size_t completed = 0;
+  bool saturated = false;     ///< heuristic: backlog or SLO blow-up
+  double ua_utilization = 0;  ///< busy fraction of UA layer CPU
+  double ia_utilization = 0;
+  double lrs_utilization = 0;
+};
+
+/// Runs the configured deployment under the configured workload. The
+/// optional observer receives every wire-level FlowEvent (used by the
+/// §6.2 unlinkability experiments).
+RunResult run_cluster(const ProxyConfig& proxy, const LrsConfig& lrs,
+                      const WorkloadConfig& workload, const CostModel& costs,
+                      const std::function<void(const FlowEvent&)>& observer = {});
+
+/// Sweeps RPS values and reports the last value before saturation — the
+/// "RPS" column of Tables 2 and 3.
+double max_stable_rps(const ProxyConfig& proxy, const LrsConfig& lrs,
+                      const CostModel& costs, const std::vector<double>& rps_grid,
+                      double slo_median_ms = 600);
+
+}  // namespace pprox::sim

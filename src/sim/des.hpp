@@ -1,0 +1,93 @@
+// Discrete-event simulation engine. Replaces the paper's 27-node NUC
+// cluster: nodes are CPU pools with queueing, links add latency, and an
+// open-loop injector drives requests. Deterministic given a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rand.hpp"
+
+namespace pprox::sim {
+
+/// Simulated time in milliseconds.
+using SimTime = double;
+
+/// Event-driven simulator: schedule closures at absolute or relative times,
+/// then run. Events at equal times fire in scheduling order (stable).
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime when, std::function<void()> fn);
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the event queue empties or `end` is passed.
+  void run_until(SimTime end);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// A node's processing capacity: `cores` jobs execute concurrently, the rest
+/// queue FIFO. Models the paper's 2-core NUCs (and the thread pool pinned to
+/// them).
+class CpuPool {
+ public:
+  CpuPool(Simulator& sim, int cores) : sim_(&sim), cores_(cores) {}
+
+  /// Submits a job needing `service_ms` of CPU; on_done fires at completion.
+  void submit(SimTime service_ms, std::function<void()> on_done);
+
+  int busy() const { return busy_; }
+  std::size_t queue_depth() const { return waiting_.size(); }
+  /// Total CPU-milliseconds consumed (for utilization reporting).
+  double cpu_time_used() const { return cpu_time_used_; }
+
+ private:
+  struct Job {
+    SimTime service_ms;
+    std::function<void()> on_done;
+  };
+  void start(Job job);
+
+  Simulator* sim_;
+  int cores_;
+  int busy_ = 0;
+  std::deque<Job> waiting_;
+  double cpu_time_used_ = 0;
+};
+
+/// Exponential (Poisson-process) interarrival sampler.
+inline SimTime exp_interarrival(double rate_per_ms, RandomSource& rng) {
+  double u = rng.next_double();
+  while (u <= 0.0) u = rng.next_double();
+  return -std::log(u) / rate_per_ms;
+}
+
+/// Lognormal service-time sampler parameterized by median and sigma.
+double lognormal_sample(double median_ms, double sigma, RandomSource& rng);
+
+}  // namespace pprox::sim

@@ -1,0 +1,62 @@
+#include "workload/injector.hpp"
+
+#include <condition_variable>
+#include <thread>
+
+namespace pprox::workload {
+
+InjectionReport run_injection(
+    net::HttpChannel& channel, const InjectorConfig& config,
+    const std::function<http::HttpRequest()>& make_request) {
+  using Clock = std::chrono::steady_clock;
+  InjectionReport report;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t in_flight = 0;
+  bool injecting = true;
+
+  const auto start = Clock::now();
+  const auto end = start + config.duration;
+  const auto measure_from = start + config.warmup;
+  const auto measure_to = end - config.cooldown;
+  const auto interval =
+      std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(
+          1.0 / config.rps));
+
+  auto next_shot = start;
+  while (Clock::now() < end) {
+    std::this_thread::sleep_until(next_shot);
+    next_shot += interval;
+
+    const auto sent_at = Clock::now();
+    if (sent_at >= end) break;
+    {
+      std::lock_guard lock(mutex);
+      ++report.injected;
+      ++in_flight;
+    }
+    channel.send(make_request(), [&, sent_at](http::HttpResponse response) {
+      const auto now = Clock::now();
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(now - sent_at).count();
+      std::lock_guard lock(mutex);
+      ++report.completed;
+      if (response.status < 200 || response.status >= 300) ++report.failed;
+      if (sent_at >= measure_from && sent_at <= measure_to) {
+        report.latencies_ms.add(latency_ms);
+      }
+      --in_flight;
+      if (in_flight == 0 && !injecting) done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock lock(mutex);
+  injecting = false;
+  // Drain: wait for stragglers (bounded so a wedged backend cannot hang us).
+  done_cv.wait_for(lock, std::chrono::seconds(30),
+                   [&] { return in_flight == 0; });
+  return report;
+}
+
+}  // namespace pprox::workload

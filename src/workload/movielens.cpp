@@ -1,0 +1,61 @@
+#include "workload/movielens.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace pprox::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  cdf_.reserve(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_.push_back(total);
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+std::size_t ZipfSampler::sample(RandomSource& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+MovieLensGenerator::MovieLensGenerator(MovieLensParams params)
+    : params_(params) {
+  SplitMix64 rng(params_.seed);
+  const ZipfSampler item_sampler(params_.items, params_.item_zipf_exponent);
+  const ZipfSampler user_sampler(params_.users, params_.user_zipf_exponent);
+
+  // Popularity ranks are scrambled so that "movie-0" is not always the hit:
+  // ids carry no rank information, as in the real dataset.
+  std::vector<std::size_t> item_permutation(params_.items);
+  std::vector<std::size_t> user_permutation(params_.users);
+  for (std::size_t i = 0; i < item_permutation.size(); ++i) item_permutation[i] = i;
+  for (std::size_t i = 0; i < user_permutation.size(); ++i) user_permutation[i] = i;
+  shuffle(item_permutation, rng);
+  shuffle(user_permutation, rng);
+
+  events_.reserve(params_.ratings);
+  std::unordered_set<std::uint64_t> seen_pairs;
+  std::unordered_set<std::size_t> users_seen;
+  std::unordered_set<std::size_t> items_seen;
+  seen_pairs.reserve(params_.ratings * 2);
+
+  while (events_.size() < params_.ratings) {
+    const std::size_t user = user_permutation[user_sampler.sample(rng)];
+    const std::size_t item = item_permutation[item_sampler.sample(rng)];
+    const std::uint64_t pair_key =
+        (static_cast<std::uint64_t>(user) << 32) | item;
+    // A user rates a movie once (as in MovieLens).
+    if (!seen_pairs.insert(pair_key).second) continue;
+    users_seen.insert(user);
+    items_seen.insert(item);
+    events_.push_back({user_id(user), item_id(item)});
+  }
+  distinct_users_ = users_seen.size();
+  distinct_items_ = items_seen.size();
+}
+
+}  // namespace pprox::workload

@@ -1,0 +1,78 @@
+// Synthetic MovieLens-like workload (dataset substitution documented in
+// DESIGN.md §2). The paper replays the 2014-15 slice of ml-20m: 562,888
+// ratings, 17,141 movies, 7,288 users. We generate a rating stream with the
+// same counts and the characteristic skews: Zipf-like item popularity and a
+// heavy-tailed user-activity distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "lrs/cco.hpp"
+
+namespace pprox::workload {
+
+struct MovieLensParams {
+  std::size_t users = 7'288;
+  std::size_t items = 17'141;
+  std::size_t ratings = 562'888;
+  double item_zipf_exponent = 1.05;  ///< popularity skew
+  double user_zipf_exponent = 0.85;  ///< activity skew
+  std::uint64_t seed = 20'14;
+
+  /// The full-size dataset, as in the paper's evaluation.
+  static MovieLensParams paper_scale() { return {}; }
+
+  /// Downscaled variant for unit tests and quick examples.
+  static MovieLensParams small(std::uint64_t seed = 7) {
+    MovieLensParams p;
+    p.users = 200;
+    p.items = 400;
+    p.ratings = 5'000;
+    p.seed = seed;
+    return p;
+  }
+};
+
+/// Deterministic synthetic rating stream.
+class MovieLensGenerator {
+ public:
+  explicit MovieLensGenerator(MovieLensParams params);
+
+  /// All feedback events (user, item), in injection order.
+  std::vector<lrs::Event> events() const { return events_; }
+
+  const MovieLensParams& params() const { return params_; }
+
+  std::string user_id(std::size_t index) const {
+    return "user-" + std::to_string(index);
+  }
+  std::string item_id(std::size_t index) const {
+    return "movie-" + std::to_string(index);
+  }
+
+  /// Number of distinct users/items actually appearing in the stream.
+  std::size_t distinct_users() const { return distinct_users_; }
+  std::size_t distinct_items() const { return distinct_items_; }
+
+ private:
+  MovieLensParams params_;
+  std::vector<lrs::Event> events_;
+  std::size_t distinct_users_ = 0;
+  std::size_t distinct_items_ = 0;
+};
+
+/// Zipf sampler over ranks [0, n): P(k) proportional to 1/(k+1)^s.
+/// Uses an inverted-CDF table; construction is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  std::size_t sample(RandomSource& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pprox::workload

@@ -1,0 +1,144 @@
+// AES block cipher (FIPS 197) and CTR mode (NIST SP 800-38A) vectors, plus
+// property tests for the deterministic and random-IV wrappers used by PProx.
+#include <gtest/gtest.h>
+
+#include "common/encoding.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+Bytes h(std::string_view hex) { return *hex_decode(hex); }
+
+TEST(Aes, Fips197Aes128) {
+  const Aes aes(h("000102030405060708090a0b0c0d0e0f"));
+  Bytes block = h("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(block.data());
+  EXPECT_EQ(hex_encode(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.decrypt_block(block.data());
+  EXPECT_EQ(hex_encode(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Aes aes(
+      h("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  Bytes block = h("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(block.data());
+  EXPECT_EQ(hex_encode(block), "8ea2b7ca516745bfeafc49904b496089");
+  aes.decrypt_block(block.data());
+  EXPECT_EQ(hex_encode(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(24)), std::invalid_argument);  // AES-192 unsupported
+  EXPECT_THROW(Aes(Bytes(0)), std::invalid_argument);
+}
+
+TEST(AesCtr, NistSp80038aCtrAes256) {
+  const Aes aes(
+      h("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"));
+  std::array<std::uint8_t, 16> iv{};
+  const Bytes iv_bytes = h("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  std::copy(iv_bytes.begin(), iv_bytes.end(), iv.begin());
+  const Bytes plaintext = h(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes expected = h(
+      "601ec313775789a5b7a7f504bbf3d228"
+      "f443e3ca4d62b59aca84e990cacaf5c5"
+      "2b0930daa23de94ce87017ba2d84988d"
+      "dfc9c58db67aada613c2dd08457941a6");
+  EXPECT_EQ(ctr_crypt(aes, iv, plaintext), expected);
+  EXPECT_EQ(ctr_crypt(aes, iv, expected), plaintext);  // involution
+}
+
+TEST(AesCtr, CounterCarriesAcrossBytes) {
+  // An IV of ...ff ff must wrap into higher bytes rather than repeat the
+  // keystream block.
+  const Aes aes(Bytes(32, 0x42));
+  std::array<std::uint8_t, 16> iv;
+  iv.fill(0xFF);
+  const Bytes zeros(48, 0);
+  const Bytes ks = ctr_crypt(aes, iv, zeros);
+  EXPECT_NE(Bytes(ks.begin(), ks.begin() + 16),
+            Bytes(ks.begin() + 16, ks.begin() + 32));
+  EXPECT_NE(Bytes(ks.begin() + 16, ks.begin() + 32),
+            Bytes(ks.begin() + 32, ks.end()));
+}
+
+TEST(DeterministicCipher, SameInputSameOutput) {
+  const Bytes key(32, 0x11);
+  const DeterministicCipher c(key);
+  const auto p = to_bytes("user-４２");
+  EXPECT_EQ(c.encrypt(p), c.encrypt(p));
+  EXPECT_EQ(c.decrypt(c.encrypt(p)), p);
+}
+
+TEST(DeterministicCipher, DistinctInputsDistinctOutputs) {
+  const DeterministicCipher c(Bytes(32, 0x22));
+  EXPECT_NE(c.encrypt(to_bytes("user-1")), c.encrypt(to_bytes("user-2")));
+}
+
+TEST(DeterministicCipher, DistinctKeysDistinctOutputs) {
+  const DeterministicCipher a(Bytes(32, 0x01));
+  const DeterministicCipher b(Bytes(32, 0x02));
+  EXPECT_NE(a.encrypt(to_bytes("user-1")), b.encrypt(to_bytes("user-1")));
+}
+
+TEST(DeterministicCipher, RequiresAes256Key) {
+  EXPECT_THROW(DeterministicCipher(Bytes(16, 0)), std::invalid_argument);
+}
+
+class CipherRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CipherRoundTrip, DeterministicRoundTripsAllSizes) {
+  Drbg rng(to_bytes("seed-det"));
+  const DeterministicCipher c(rng.bytes(32));
+  const Bytes plain = rng.bytes(GetParam());
+  EXPECT_EQ(c.decrypt(c.encrypt(plain)), plain);
+}
+
+TEST_P(CipherRoundTrip, RandomIvRoundTripsAllSizes) {
+  Drbg rng(to_bytes("seed-rand"));
+  const RandomIvCipher c(rng.bytes(32));
+  const Bytes plain = rng.bytes(GetParam());
+  const Bytes ct = c.encrypt(plain, rng);
+  EXPECT_EQ(ct.size(), plain.size() + 16);  // IV prepended
+  const auto back = c.decrypt(ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CipherRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 100,
+                                           1000, 4096));
+
+TEST(RandomIvCipher, SamePlaintextDifferentCiphertext) {
+  Drbg rng(to_bytes("seed-iv"));
+  const RandomIvCipher c(rng.bytes(32));
+  const auto p = to_bytes("recommendations");
+  EXPECT_NE(c.encrypt(p, rng), c.encrypt(p, rng));
+}
+
+TEST(RandomIvCipher, RejectsTruncatedCiphertext) {
+  const RandomIvCipher c(Bytes(32, 0x33));
+  EXPECT_FALSE(c.decrypt(Bytes(15, 0)).ok());
+}
+
+TEST(RandomIvCipher, TamperedIvChangesPlaintext) {
+  Drbg rng(to_bytes("seed-tamper"));
+  const RandomIvCipher c(rng.bytes(32));
+  const auto p = to_bytes("0123456789abcdef");
+  Bytes ct = c.encrypt(p, rng);
+  ct[0] ^= 0x01;  // flip an IV bit
+  const auto back = c.decrypt(ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NE(back.value(), p);
+}
+
+}  // namespace
+}  // namespace pprox::crypto

@@ -1,0 +1,220 @@
+// CCO/LLR trainer: LLR math against known values, co-occurrence counting
+// vs. a brute-force reference, and end-to-end recommendation sanity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rand.hpp"
+#include "lrs/cco.hpp"
+
+namespace pprox::lrs {
+namespace {
+
+TEST(Llr, ZeroWhenIndependent) {
+  // Perfectly proportional table: no association (up to float residue).
+  EXPECT_NEAR(log_likelihood_ratio(10, 10, 10, 10), 0.0, 1e-9);
+  EXPECT_NEAR(log_likelihood_ratio(5, 45, 5, 45), 0.0, 1e-9);
+}
+
+TEST(Llr, PositiveForAssociation) {
+  // Items always seen together.
+  EXPECT_GT(log_likelihood_ratio(50, 0, 0, 50), 0.0);
+  // Stronger co-occurrence => larger LLR.
+  EXPECT_GT(log_likelihood_ratio(40, 10, 10, 40),
+            log_likelihood_ratio(30, 20, 20, 30));
+}
+
+TEST(Llr, SymmetricInPairRoles) {
+  EXPECT_DOUBLE_EQ(log_likelihood_ratio(12, 5, 7, 100),
+                   log_likelihood_ratio(12, 7, 5, 100));
+}
+
+TEST(Llr, HandlesZeros) {
+  EXPECT_GE(log_likelihood_ratio(0, 0, 0, 0), 0.0);
+  EXPECT_GE(log_likelihood_ratio(1, 0, 0, 0), 0.0);
+  EXPECT_GE(log_likelihood_ratio(0, 10, 10, 0), 0.0);
+}
+
+TEST(Llr, KnownValueDunning) {
+  // Reference value computed independently from Dunning's formula
+  // (2 * [H(row) + H(col) - H(cells)]) for k = (10, 20, 30, 940).
+  const double llr = log_likelihood_ratio(10, 20, 30, 940);
+  EXPECT_NEAR(llr, 30.0691, 0.001);  // strong association
+}
+
+std::vector<Event> movie_events() {
+  // Users 1-3 like A and B together; users 4-5 like C and D; user 6 mixes.
+  return {
+      {"u1", "A"}, {"u1", "B"},
+      {"u2", "A"}, {"u2", "B"},
+      {"u3", "A"}, {"u3", "B"},
+      {"u4", "C"}, {"u4", "D"},
+      {"u5", "C"}, {"u5", "D"},
+      {"u6", "A"}, {"u6", "C"},
+  };
+}
+
+TEST(CcoTrainer, FindsStrongPairs) {
+  CcoTrainer trainer;
+  const auto model = trainer.train(movie_events());
+  ASSERT_EQ(model.size(), 4u);  // A, B, C, D
+
+  const auto find = [&model](const std::string& id) -> const IndexedItem& {
+    for (const auto& item : model) {
+      if (item.item_id == id) return item;
+    }
+    throw std::runtime_error("missing " + id);
+  };
+  // A's strongest indicator is B (3 of A's 4 users also liked B).
+  const auto& a = find("A");
+  ASSERT_FALSE(a.indicators.empty());
+  EXPECT_EQ(a.indicators[0].first, "B");
+  const auto& c = find("C");
+  ASSERT_FALSE(c.indicators.empty());
+  EXPECT_EQ(c.indicators[0].first, "D");
+}
+
+TEST(CcoTrainer, DuplicateEventsCountOnce) {
+  CcoTrainer trainer;
+  std::vector<Event> events = movie_events();
+  // Spam u1-likes-A a hundred times; the model must not change.
+  const auto baseline = trainer.train(events);
+  for (int i = 0; i < 100; ++i) events.push_back({"u1", "A"});
+  const auto spammed = trainer.train(events);
+  ASSERT_EQ(baseline.size(), spammed.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].item_id, spammed[i].item_id);
+    EXPECT_EQ(baseline[i].indicators, spammed[i].indicators);
+  }
+}
+
+TEST(CcoTrainer, MaxIndicatorsTruncatesButKeepsTieGroups) {
+  CcoParams params;
+  params.max_indicators_per_item = 3;
+  CcoTrainer trainer(params);
+  // Varied overlap so LLR values differ; plus noise users so associations
+  // are positive.
+  std::vector<Event> events;
+  for (int u = 0; u < 8; ++u) {
+    for (int i = 0; i <= u % 5 + 1; ++i) {
+      events.push_back({"u" + std::to_string(u), "i" + std::to_string(i)});
+    }
+  }
+  for (int u = 8; u < 20; ++u) {
+    events.push_back({"u" + std::to_string(u), "solo-" + std::to_string(u)});
+  }
+  for (const auto& item : trainer.train(events)) {
+    if (item.indicators.size() > 3u) {
+      // Overflow is only allowed for indicators tied with the boundary
+      // score (renaming-invariant truncation).
+      const double boundary = item.indicators[2].second;
+      for (std::size_t i = 3; i < item.indicators.size(); ++i) {
+        EXPECT_DOUBLE_EQ(item.indicators[i].second, boundary) << item.item_id;
+      }
+    }
+  }
+}
+
+TEST(CcoTrainer, ModelInvariantUnderIdentifierRenaming) {
+  // The PProx transparency property depends on this: training over
+  // pseudonymized identifiers must yield the same model up to renaming.
+  CcoParams params;
+  params.max_indicators_per_item = 2;  // force truncation with ties
+  CcoTrainer trainer(params);
+  std::vector<Event> events;
+  SplitMix64 rng(17);
+  for (int n = 0; n < 300; ++n) {
+    events.push_back({"u" + std::to_string(rng.next_below(20)),
+                      "i" + std::to_string(rng.next_below(15))});
+  }
+  auto rename = [](const std::string& id) { return "zz-renamed-" + id; };
+  std::vector<Event> renamed;
+  for (const auto& e : events) renamed.push_back({rename(e.user), rename(e.item)});
+
+  const auto model_a = trainer.train(events);
+  const auto model_b = trainer.train(renamed);
+  ASSERT_EQ(model_a.size(), model_b.size());
+  // Compare as sets of (item, {indicator: weight}) after renaming.
+  std::map<std::string, std::map<std::string, double>> a, b;
+  for (const auto& d : model_a) {
+    for (const auto& [ind, w] : d.indicators) a[rename(d.item_id)][rename(ind)] = w;
+  }
+  for (const auto& d : model_b) {
+    for (const auto& [ind, w] : d.indicators) b[d.item_id][ind] = w;
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(CcoTrainer, EmptyInputEmptyModel) {
+  CcoTrainer trainer;
+  EXPECT_TRUE(trainer.train({}).empty());
+}
+
+TEST(CcoTrainer, SingleUserSingleItem) {
+  CcoTrainer trainer;
+  const auto model = trainer.train({{"u", "only"}});
+  ASSERT_EQ(model.size(), 1u);
+  EXPECT_EQ(model[0].item_id, "only");
+  EXPECT_TRUE(model[0].indicators.empty());
+}
+
+// Brute-force reference check on a randomized event log.
+TEST(CcoTrainer, CooccurrenceMatchesBruteForce) {
+  SplitMix64 rng(99);
+  std::vector<Event> events;
+  constexpr int kUsers = 30;
+  constexpr int kItems = 12;
+  for (int u = 0; u < kUsers; ++u) {
+    for (int k = 0; k < 6; ++k) {
+      events.push_back({"u" + std::to_string(u),
+                        "i" + std::to_string(rng.next_below(kItems))});
+    }
+  }
+  // Reference: user sets, then pairwise LLR for one probe pair.
+  std::map<std::string, std::set<std::string>> histories;
+  for (const auto& e : events) histories[e.user].insert(e.item);
+  const std::string a = "i3", b = "i7";
+  std::uint64_t k11 = 0, a_users = 0, b_users = 0;
+  for (const auto& [u, items] : histories) {
+    const bool has_a = items.count(a), has_b = items.count(b);
+    k11 += has_a && has_b;
+    a_users += has_a;
+    b_users += has_b;
+  }
+  const std::uint64_t total = histories.size();
+  const double expected = log_likelihood_ratio(
+      k11, a_users - k11, b_users - k11, total - a_users - b_users + k11);
+
+  CcoParams params;
+  params.llr_threshold = -1;  // keep everything
+  const auto model = CcoTrainer(params).train(events);
+  double actual = -1;
+  for (const auto& item : model) {
+    if (item.item_id != a) continue;
+    for (const auto& [ind, weight] : item.indicators) {
+      if (ind == b) actual = weight;
+    }
+  }
+  if (k11 * total > a_users * b_users) {  // positive association kept
+    ASSERT_GE(actual, 0) << "pair missing from model";
+    EXPECT_NEAR(actual, expected, 1e-9);
+  } else {
+    EXPECT_LT(actual, 0) << "negatively-associated pair must be filtered";
+  }
+}
+
+TEST(Recommender, RecommendsCoLikedAndExcludesSeen) {
+  CcoTrainer trainer;
+  SearchIndex index;
+  index.replace_all(trainer.train(movie_events()));
+  const Recommender rec(index);
+  // A user who liked A should be recommended B (not A itself).
+  const auto hits = rec.recommend({"A"}, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].item_id, "B");
+  for (const auto& hit : hits) EXPECT_NE(hit.item_id, "A");
+}
+
+}  // namespace
+}  // namespace pprox::lrs

@@ -1,0 +1,219 @@
+// Cluster-model behaviour: the qualitative properties the paper's evaluation
+// rests on must hold in the simulator (feature costs stack, shuffling adds
+// bounded delay, capacity scales with instances, saturation is detected).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/cluster.hpp"
+
+namespace pprox::sim {
+namespace {
+
+WorkloadConfig quick_workload(double rps, std::uint64_t seed = 7) {
+  WorkloadConfig w;
+  w.rps = rps;
+  w.duration_ms = 20'000;
+  w.warmup_ms = 3'000;
+  w.cooldown_ms = 3'000;
+  w.repetitions = 1;
+  w.seed = seed;
+  return w;
+}
+
+TEST(ClusterSim, CompletesAllRequestsUnderLightLoad) {
+  ProxyConfig proxy;  // all features, no shuffling
+  LrsConfig lrs;
+  const RunResult r = run_cluster(proxy, lrs, quick_workload(100), CostModel{});
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.injected, r.completed);
+  EXPECT_GT(r.latencies.count(), 500u);
+  EXPECT_LT(r.latencies.percentile(50), 50);
+}
+
+TEST(ClusterSim, FeatureCostsStack) {
+  LrsConfig lrs;
+  const CostModel costs;
+  ProxyConfig m1;
+  m1.encryption = false;
+  m1.sgx = false;
+  ProxyConfig m2 = m1;
+  m2.encryption = true;
+  ProxyConfig m3 = m2;
+  m3.sgx = true;
+
+  const double l1 =
+      run_cluster(m1, lrs, quick_workload(100), costs).latencies.percentile(50);
+  const double l2 =
+      run_cluster(m2, lrs, quick_workload(100), costs).latencies.percentile(50);
+  const double l3 =
+      run_cluster(m3, lrs, quick_workload(100), costs).latencies.percentile(50);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+  // Encryption costs more than the SGX boundary (paper Fig. 6 observation).
+  EXPECT_GT(l2 - l1, l3 - l2);
+}
+
+TEST(ClusterSim, ItemPseudonymizationNearlyFree) {
+  LrsConfig lrs;
+  ProxyConfig m3;
+  ProxyConfig m4 = m3;
+  m4.item_pseudonymization = false;
+  const double with_pseudo =
+      run_cluster(m3, lrs, quick_workload(100), CostModel{}).latencies.percentile(50);
+  const double without =
+      run_cluster(m4, lrs, quick_workload(100), CostModel{}).latencies.percentile(50);
+  EXPECT_NEAR(with_pseudo, without, 1.0);  // negligible difference
+}
+
+TEST(ClusterSim, ShufflingAddsLatencyInverselyToRate) {
+  LrsConfig lrs;
+  ProxyConfig s10;
+  s10.shuffle_size = 10;
+  const double at_50 =
+      run_cluster(s10, lrs, quick_workload(50), CostModel{}).latencies.percentile(50);
+  const double at_250 =
+      run_cluster(s10, lrs, quick_workload(250), CostModel{}).latencies.percentile(50);
+  EXPECT_GT(at_50, at_250);  // buffer fills slower at low rate
+  EXPECT_GT(at_50, 100);     // substantial at 50 rps with S=10
+  EXPECT_LT(at_250, 200);    // amortized at 250 rps (paper Fig. 7)
+}
+
+TEST(ClusterSim, ShuffleTimerBoundsWorstCase) {
+  LrsConfig lrs;
+  ProxyConfig proxy;
+  proxy.shuffle_size = 10;
+  proxy.shuffle_timeout_ms = 200;
+  // 5 rps: the buffer essentially never fills; the timer must flush it.
+  const RunResult r = run_cluster(proxy, lrs, quick_workload(5), CostModel{});
+  EXPECT_EQ(r.injected, r.completed);
+  // Two shuffle stages, each bounded by the timer, plus processing.
+  EXPECT_LT(r.latencies.percentile(99), 2 * 200 + 100);
+}
+
+TEST(ClusterSim, HorizontalScalingRaisesCapacity) {
+  LrsConfig lrs;
+  ProxyConfig one;
+  one.shuffle_size = 10;
+  ProxyConfig four = one;
+  four.ua_instances = 4;
+  four.ia_instances = 4;
+
+  // 1000 rps saturates a single pair but not four pairs (paper Fig. 8).
+  const RunResult small = run_cluster(one, lrs, quick_workload(1000), CostModel{});
+  const RunResult big = run_cluster(four, lrs, quick_workload(1000), CostModel{});
+  EXPECT_TRUE(small.saturated);
+  EXPECT_FALSE(big.saturated);
+  EXPECT_LT(big.latencies.percentile(50), 300);
+}
+
+TEST(ClusterSim, SingleProxyPairHandles250Rps) {
+  // Headline claim: one PProx instance pair (4 cores) sustains 250 rps.
+  LrsConfig lrs;
+  ProxyConfig proxy;
+  proxy.shuffle_size = 10;
+  const RunResult r = run_cluster(proxy, lrs, quick_workload(250), CostModel{});
+  EXPECT_FALSE(r.saturated);
+  EXPECT_LT(r.latencies.percentile(50), 300);
+}
+
+TEST(ClusterSim, BaselineHarnessScalesWithFrontends) {
+  ProxyConfig off;
+  off.enabled = false;
+  LrsConfig b1;
+  b1.kind = LrsConfig::Kind::kHarness;
+  b1.frontend_nodes = 3;
+  LrsConfig b4 = b1;
+  b4.frontend_nodes = 12;
+
+  const RunResult small = run_cluster(off, b1, quick_workload(1000), CostModel{});
+  const RunResult big = run_cluster(off, b4, quick_workload(1000), CostModel{});
+  EXPECT_TRUE(small.saturated);
+  EXPECT_FALSE(big.saturated);
+}
+
+TEST(ClusterSim, FullSystemLatencyIsRoughlyAdditive) {
+  // f1 ≈ m6 + b1 (paper: "latencies are, as expected, the sum").
+  const CostModel costs;
+  ProxyConfig m6;
+  m6.shuffle_size = 10;
+  LrsConfig stub;
+  LrsConfig b1;
+  b1.kind = LrsConfig::Kind::kHarness;
+  b1.frontend_nodes = 3;
+  ProxyConfig off;
+  off.enabled = false;
+
+  const double proxy_only =
+      run_cluster(m6, stub, quick_workload(250), costs).latencies.percentile(50);
+  const double harness_only =
+      run_cluster(off, b1, quick_workload(250), costs).latencies.percentile(50);
+  const double full =
+      run_cluster(m6, b1, quick_workload(250), costs).latencies.percentile(50);
+  EXPECT_NEAR(full, proxy_only + harness_only, 0.5 * full);
+  EXPECT_GT(full, proxy_only);
+  EXPECT_GT(full, harness_only);
+}
+
+TEST(ClusterSim, SaturationDetectedAtOverload) {
+  LrsConfig lrs;
+  ProxyConfig proxy;  // single pair
+  const RunResult r = run_cluster(proxy, lrs, quick_workload(2000), CostModel{});
+  EXPECT_TRUE(r.saturated);
+}
+
+TEST(ClusterSim, MaxStableRpsFindsKneeBetween250And500) {
+  LrsConfig lrs;
+  ProxyConfig proxy;
+  proxy.shuffle_size = 10;
+  const double knee = max_stable_rps(proxy, lrs, CostModel{},
+                                     {50, 125, 250, 375, 500, 625, 750});
+  EXPECT_GE(knee, 250);
+  EXPECT_LT(knee, 750);
+}
+
+TEST(ClusterSim, DeterministicGivenSeed) {
+  LrsConfig lrs;
+  ProxyConfig proxy;
+  proxy.shuffle_size = 5;
+  const RunResult a = run_cluster(proxy, lrs, quick_workload(100, 42), CostModel{});
+  const RunResult b = run_cluster(proxy, lrs, quick_workload(100, 42), CostModel{});
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_DOUBLE_EQ(a.latencies.percentile(50), b.latencies.percentile(50));
+  EXPECT_DOUBLE_EQ(a.latencies.percentile(99), b.latencies.percentile(99));
+}
+
+TEST(ClusterSim, ObserverSeesEveryStageOnce) {
+  LrsConfig lrs;
+  ProxyConfig proxy;
+  std::map<FlowPoint, std::set<std::uint64_t>> seen;
+  WorkloadConfig w = quick_workload(50);
+  w.duration_ms = 5'000;
+  w.warmup_ms = 0;
+  w.cooldown_ms = 0;
+  run_cluster(proxy, lrs, w, CostModel{},
+              [&](const FlowEvent& e) { seen[e.point].insert(e.request_id); });
+  const auto& inbound = seen[FlowPoint::kClientToUa];
+  ASSERT_FALSE(inbound.empty());
+  // Conservation: every request observed inbound is observed at every later
+  // stage exactly once (ids are sets, so duplicates would shrink counts).
+  EXPECT_EQ(seen[FlowPoint::kUaToIa].size(), inbound.size());
+  EXPECT_EQ(seen[FlowPoint::kIaToLrs].size(), inbound.size());
+  EXPECT_EQ(seen[FlowPoint::kLrsToIa].size(), inbound.size());
+  EXPECT_EQ(seen[FlowPoint::kIaToUa].size(), inbound.size());
+  EXPECT_EQ(seen[FlowPoint::kUaToClient].size(), inbound.size());
+}
+
+TEST(ClusterSim, UtilizationScalesWithLoad) {
+  LrsConfig lrs;
+  ProxyConfig proxy;
+  const RunResult low = run_cluster(proxy, lrs, quick_workload(50), CostModel{});
+  const RunResult high = run_cluster(proxy, lrs, quick_workload(200), CostModel{});
+  EXPECT_GT(high.ua_utilization, low.ua_utilization);
+  EXPECT_GT(high.ia_utilization, low.ia_utilization);
+  EXPECT_GT(low.ua_utilization, 0.0);
+  EXPECT_LE(high.ua_utilization, 1.05);
+}
+
+}  // namespace
+}  // namespace pprox::sim

@@ -1,0 +1,195 @@
+// Lock-free queue and thread pool: correctness under single-threaded edge
+// cases and no-loss/no-duplication properties under multi-threaded stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <thread>
+
+#include "concurrent/mpmc_queue.hpp"
+#include "concurrent/thread_pool.hpp"
+
+namespace pprox::concurrent {
+namespace {
+
+TEST(MpmcQueue, CapacityRoundsToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  MpmcQueue<int> q2(64);
+  EXPECT_EQ(q2.capacity(), 64u);
+  MpmcQueue<int> q3(1);
+  EXPECT_EQ(q3.capacity(), 2u);
+}
+
+TEST(MpmcQueue, FifoSingleThreaded) {
+  MpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, FullRejectsPush) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.try_pop().value(), 0);
+  EXPECT_TRUE(q.try_push(99));  // slot freed
+}
+
+TEST(MpmcQueue, WrapsAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.try_push(round));
+    ASSERT_EQ(q.try_pop().value(), round);
+  }
+}
+
+TEST(MpmcQueue, MoveOnlyPayload) {
+  MpmcQueue<std::unique_ptr<int>> q(8);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+struct StressParams {
+  int producers;
+  int consumers;
+};
+
+class MpmcStress : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(MpmcStress, NoLossNoDuplication) {
+  const auto [producers, consumers] = GetParam();
+  constexpr int kPerProducer = 20000;
+  MpmcQueue<std::uint64_t> q(1024);
+  std::atomic<int> producers_done{0};
+  std::vector<std::thread> threads;
+
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&q, &producers_done, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        while (!q.try_push(value)) std::this_thread::yield();
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+
+  std::mutex sink_mutex;
+  std::vector<std::uint64_t> sink;
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<std::uint64_t> local;
+      while (true) {
+        const auto v = q.try_pop();
+        if (v.has_value()) {
+          local.push_back(*v);
+        } else if (producers_done.load() == producers) {
+          // Queue may still have items racing in; one final sweep.
+          while (const auto last = q.try_pop()) local.push_back(*last);
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      sink.insert(sink.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(producers) * kPerProducer);
+  std::sort(sink.begin(), sink.end());
+  EXPECT_EQ(std::adjacent_find(sink.begin(), sink.end()), sink.end())
+      << "duplicate element consumed";
+  // Per-producer FIFO completeness: every (p, i) present exactly once.
+  std::map<int, int> counts;
+  for (const std::uint64_t v : sink) counts[static_cast<int>(v >> 32)]++;
+  for (int p = 0; p < producers; ++p) EXPECT_EQ(counts[p], kPerProducer);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MpmcStress,
+                         ::testing::Values(StressParams{1, 1}, StressParams{2, 2},
+                                           StressParams{4, 1}, StressParams{1, 4},
+                                           StressParams{4, 4}));
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.drain();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, DrainWaitsForSlowTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      done.fetch_add(1);
+    });
+  }
+  pool.drain();
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.drain();
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      const int now = running.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      running.fetch_sub(1);
+    });
+  }
+  pool.drain();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, SubmitFromWorkerThread) {
+  ThreadPool pool(2, 64);
+  std::atomic<int> counter{0};
+  std::atomic<bool> inner_submitted{false};
+  pool.submit([&] {
+    counter.fetch_add(1);
+    pool.submit([&] { counter.fetch_add(1); });
+    inner_submitted.store(true);
+  });
+  while (!inner_submitted.load()) std::this_thread::yield();
+  pool.drain();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace pprox::concurrent

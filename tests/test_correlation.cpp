@@ -1,0 +1,102 @@
+// Flow-correlation attack (§6.2): empirical adversary success against the
+// simulated deployment must match the paper's analysis — near-certain with
+// no shuffling, ~1/S within a UA batch, ~1/(S*I) at the LRS, ~1/(S*U) for
+// responses, improving (for the defender) with instance count.
+#include <gtest/gtest.h>
+
+#include "attack/correlation.hpp"
+
+namespace pprox::attack {
+namespace {
+
+std::vector<sim::FlowEvent> observe(int shuffle_size, int ua, int ia,
+                                    double rps, std::uint64_t seed = 11) {
+  sim::ProxyConfig proxy;
+  proxy.shuffle_size = shuffle_size;
+  proxy.ua_instances = ua;
+  proxy.ia_instances = ia;
+  sim::LrsConfig lrs;
+  sim::WorkloadConfig workload;
+  workload.rps = rps;
+  workload.duration_ms = 30'000;
+  workload.warmup_ms = 0;
+  workload.cooldown_ms = 0;
+  workload.repetitions = 1;
+  workload.seed = seed;
+  std::vector<sim::FlowEvent> events;
+  sim::run_cluster(proxy, lrs, workload, sim::CostModel{},
+                   [&events](const sim::FlowEvent& e) { events.push_back(e); });
+  return events;
+}
+
+TEST(Correlation, NoShufflingIsNearCertainLinkage) {
+  SplitMix64 rng(1);
+  const auto events = observe(0, 1, 1, 100);
+  const auto result = link_requests_at_ua(events, rng);
+  ASSERT_GT(result.attempts, 1000u);
+  // Without shuffling the adversary matches inbound to outbound almost
+  // always (only CPU-queue reorderings add noise).
+  EXPECT_GT(result.success_rate(), 0.9);
+}
+
+TEST(Correlation, ShuffleS10BoundsUaLinkageAtOneOverS) {
+  SplitMix64 rng(2);
+  const auto events = observe(10, 1, 1, 250);
+  const auto result = link_requests_at_ua(events, rng);
+  ASSERT_GT(result.attempts, 2000u);
+  EXPECT_NEAR(result.success_rate(), 0.10, 0.04);  // 1/S
+}
+
+TEST(Correlation, ShuffleS5BoundsUaLinkageAtOneOverS) {
+  SplitMix64 rng(3);
+  const auto events = observe(5, 1, 1, 250);
+  const auto result = link_requests_at_ua(events, rng);
+  EXPECT_NEAR(result.success_rate(), 0.20, 0.06);  // 1/S
+}
+
+TEST(Correlation, MoreIaInstancesImproveUnlinkabilityAtLrs) {
+  // §6.2: request-path guess probability is 1/(S*I): scaling I helps.
+  SplitMix64 rng(4);
+  const auto one = link_requests_at_lrs(observe(10, 1, 1, 250), rng);
+  const auto four = link_requests_at_lrs(observe(10, 4, 4, 1000), rng);
+  ASSERT_GT(one.attempts, 1000u);
+  ASSERT_GT(four.attempts, 1000u);
+  EXPECT_LT(one.success_rate(), 0.15);             // at most ~1/S
+  EXPECT_LT(four.success_rate(), one.success_rate());  // I=4 strictly better
+  EXPECT_LT(four.success_rate(), 0.05);            // approaching 1/(S*I)
+}
+
+TEST(Correlation, ResponsesProtectedSymmetrically) {
+  SplitMix64 rng(5);
+  const auto unshuffled = link_responses(observe(0, 1, 1, 100), rng);
+  const auto shuffled = link_responses(observe(10, 1, 1, 250), rng);
+  EXPECT_GT(unshuffled.success_rate(), 0.85);
+  EXPECT_LT(shuffled.success_rate(), 0.18);  // ~1/S with U=1
+}
+
+TEST(Correlation, MoreUaInstancesProtectResponses) {
+  // Response-path probability is 1/(S*U): scaling U helps the return path.
+  SplitMix64 rng(6);
+  const auto u1 = link_responses(observe(10, 1, 1, 250), rng);
+  const auto u4 = link_responses(observe(10, 4, 4, 1000), rng);
+  EXPECT_LT(u4.success_rate(), u1.success_rate());
+}
+
+TEST(Correlation, LowTrafficLimitation) {
+  // §6.3 "Assumption on traffic": at very low rates the timer flushes
+  // near-singleton batches and shuffling degrades. The attack must show it.
+  SplitMix64 rng(7);
+  const auto low = link_requests_at_ua(observe(10, 1, 1, 3), rng);
+  const auto high = link_requests_at_ua(observe(10, 1, 1, 250), rng);
+  EXPECT_GT(low.success_rate(), 3 * high.success_rate());
+}
+
+TEST(Correlation, EmptyObservationsYieldNoAttempts) {
+  SplitMix64 rng(8);
+  const auto result = link_requests_at_ua({}, rng);
+  EXPECT_EQ(result.attempts, 0u);
+  EXPECT_EQ(result.success_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pprox::attack

@@ -1,0 +1,98 @@
+// Document store (MongoDB stand-in) behaviour and concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "lrs/docstore.hpp"
+
+namespace pprox::lrs {
+namespace {
+
+json::JsonValue make_doc(const std::string& user, const std::string& item) {
+  json::JsonValue doc{json::JsonObject{}};
+  doc.set("user", user);
+  doc.set("item", item);
+  return doc;
+}
+
+TEST(Collection, UpsertGeneratesIds) {
+  Collection c;
+  const std::string id1 = c.upsert("", make_doc("u1", "i1"));
+  const std::string id2 = c.upsert("", make_doc("u2", "i2"));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Collection, UpsertWithExplicitIdReplaces) {
+  Collection c;
+  c.upsert("k", make_doc("u1", "i1"));
+  c.upsert("k", make_doc("u1", "i2"));
+  EXPECT_EQ(c.size(), 1u);
+  const auto doc = c.find_by_id("k");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("item"), "i2");
+}
+
+TEST(Collection, FindByIdMissing) {
+  Collection c;
+  EXPECT_FALSE(c.find_by_id("nope").has_value());
+}
+
+TEST(Collection, FindByField) {
+  Collection c;
+  c.upsert("", make_doc("alice", "i1"));
+  c.upsert("", make_doc("alice", "i2"));
+  c.upsert("", make_doc("bob", "i3"));
+  EXPECT_EQ(c.find_by_field("user", "alice").size(), 2u);
+  EXPECT_EQ(c.find_by_field("user", "bob").size(), 1u);
+  EXPECT_TRUE(c.find_by_field("user", "carol").empty());
+  EXPECT_TRUE(c.find_by_field("missing_key", "x").empty());
+}
+
+TEST(Collection, ScanVisitsEverything) {
+  Collection c;
+  for (int i = 0; i < 10; ++i) c.upsert("", make_doc("u", std::to_string(i)));
+  int count = 0;
+  c.scan([&count](const std::string&, const json::JsonValue&) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Collection, EraseAndClear) {
+  Collection c;
+  const std::string id = c.upsert("", make_doc("u", "i"));
+  EXPECT_TRUE(c.erase(id));
+  EXPECT_FALSE(c.erase(id));
+  c.upsert("", make_doc("u", "i"));
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Collection, ConcurrentInsertsAllLand) {
+  Collection c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < 500; ++i) {
+        c.upsert("", make_doc("user-" + std::to_string(t), std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.size(), 2000u);
+}
+
+TEST(DocumentStore, CollectionsAreIndependentAndStable) {
+  DocumentStore store;
+  store.collection("events").upsert("", make_doc("u", "i"));
+  store.collection("models").upsert("", make_doc("m", "x"));
+  EXPECT_EQ(store.collection("events").size(), 1u);
+  EXPECT_EQ(store.collection("models").size(), 1u);
+  EXPECT_EQ(store.collection_names().size(), 2u);
+  // Repeated access returns the same collection.
+  Collection& a = store.collection("events");
+  Collection& b = store.collection("events");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace pprox::lrs

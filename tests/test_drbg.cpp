@@ -1,0 +1,102 @@
+// ChaCha20 block function (RFC 8439) vector and DRBG behaviour tests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/encoding.hpp"
+#include "crypto/drbg.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 §2.3.2: key 00..1f, counter 1, nonce 000000090000004a00000000.
+  std::array<std::uint32_t, 8> key{};
+  for (int w = 0; w < 8; ++w) {
+    std::uint32_t v = 0;
+    for (int b = 3; b >= 0; --b) v = (v << 8) | static_cast<std::uint32_t>(4 * w + b);
+    key[w] = v;
+  }
+  const std::array<std::uint32_t, 3> nonce = {0x09000000, 0x4a000000, 0x00000000};
+  std::uint8_t out[64];
+  chacha20_block(key, 1, nonce, out);
+  EXPECT_EQ(hex_encode(ByteView(out, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Drbg, DeterministicWithSameSeed) {
+  Drbg a(to_bytes("seed"));
+  Drbg b(to_bytes("seed"));
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  Drbg a(to_bytes("seed-1"));
+  Drbg b(to_bytes("seed-2"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, OutputIsNotRepeating) {
+  Drbg d(to_bytes("s"));
+  std::set<Bytes> blocks;
+  for (int i = 0; i < 100; ++i) blocks.insert(d.bytes(16));
+  EXPECT_EQ(blocks.size(), 100u);
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a(to_bytes("seed"));
+  Drbg b(to_bytes("seed"));
+  (void)a.bytes(10);
+  (void)b.bytes(10);
+  b.reseed(to_bytes("extra entropy"));
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, SurvivesRekeyBoundary) {
+  Drbg d(to_bytes("long"));
+  // Pull more than the 1 MiB rekey interval; stream must keep flowing and
+  // remain deterministic for the same seed.
+  Bytes total;
+  for (int i = 0; i < 1100; ++i) {
+    const Bytes chunk = d.bytes(1024);
+    total.insert(total.end(), chunk.begin(), chunk.begin() + 4);
+  }
+  Drbg d2(to_bytes("long"));
+  Bytes total2;
+  for (int i = 0; i < 1100; ++i) {
+    const Bytes chunk = d2.bytes(1024);
+    total2.insert(total2.end(), chunk.begin(), chunk.begin() + 4);
+  }
+  EXPECT_EQ(total, total2);
+}
+
+TEST(Drbg, OsSeededInstancesDiffer) {
+  Drbg a;
+  Drbg b;
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, ThreadSafeUnderConcurrentFill) {
+  Drbg d(to_bytes("mt"));
+  std::vector<std::thread> threads;
+  std::vector<Bytes> results(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&d, &results, t] { results[t] = d.bytes(10000); });
+  }
+  for (auto& t : threads) t.join();
+  // All outputs distinct (the stream is shared, not replayed per thread).
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) EXPECT_NE(results[i], results[j]);
+  }
+}
+
+TEST(Drbg, GlobalDrbgIsUsable) {
+  EXPECT_EQ(global_drbg().bytes(16).size(), 16u);
+}
+
+}  // namespace
+}  // namespace pprox::crypto

@@ -1,0 +1,174 @@
+// Simulated TEE: attestation flow, provisioning, ecall boundary, sealing,
+// and the breach/exfiltration adversary surface.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/hybrid.hpp"
+#include "enclave/attestation.hpp"
+#include "enclave/enclave.hpp"
+
+namespace pprox::enclave {
+namespace {
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  EnclaveTest() : rng_(to_bytes("enclave-test")), ias_(rng_) {}
+  crypto::Drbg rng_;
+  AttestationService ias_;
+};
+
+TEST_F(EnclaveTest, MeasurementIsCodeIdentityDigest) {
+  Enclave a("pprox-ua-v1", rng_);
+  Enclave b("pprox-ua-v1", rng_);
+  Enclave c("pprox-ia-v1", rng_);
+  EXPECT_EQ(a.measurement(), b.measurement());  // same code, same measurement
+  EXPECT_FALSE(a.measurement() == c.measurement());
+  EXPECT_EQ(a.measurement(), Measurement::of_code("pprox-ua-v1"));
+}
+
+TEST_F(EnclaveTest, ChannelKeysAreDistinctPerInstance) {
+  Enclave a("pprox-ua-v1", rng_);
+  Enclave b("pprox-ua-v1", rng_);
+  EXPECT_NE(a.channel_public_key().fingerprint(),
+            b.channel_public_key().fingerprint());
+}
+
+TEST_F(EnclaveTest, FullAttestThenProvisionFlow) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  ias_.register_platform(enclave);
+
+  // Verifier (RaaS client app): challenge, verify, provision.
+  const Bytes nonce = rng_.bytes(16);
+  const auto quote = ias_.issue_quote(enclave, nonce);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(AttestationService::verify_quote(
+      quote.value(), ias_.root_public_key(), Measurement::of_code("pprox-ua-v1"),
+      nonce, enclave.channel_public_key()));
+
+  const Bytes secrets = to_bytes("layer-secret-keys");
+  const auto blob =
+      crypto::hybrid_encrypt(enclave.channel_public_key(), secrets, rng_);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(enclave.provision(blob.value()).ok());
+  EXPECT_TRUE(enclave.provisioned());
+
+  // Enclave code sees the secrets through the ecall boundary.
+  const Bytes inside = enclave.ecall([](ByteView s) {
+    return Bytes(s.begin(), s.end());
+  });
+  EXPECT_EQ(inside, secrets);
+}
+
+TEST_F(EnclaveTest, QuoteRefusedForUnregisteredPlatform) {
+  Enclave rogue("pprox-ua-v1", rng_);
+  EXPECT_FALSE(ias_.issue_quote(rogue, rng_.bytes(16)).ok());
+}
+
+TEST_F(EnclaveTest, VerifyRejectsWrongMeasurementNonceOrKey) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  Enclave other("pprox-ua-v1", rng_);
+  ias_.register_platform(enclave);
+  const Bytes nonce = rng_.bytes(16);
+  const auto quote = ias_.issue_quote(enclave, nonce);
+  ASSERT_TRUE(quote.ok());
+
+  const auto& root = ias_.root_public_key();
+  EXPECT_FALSE(AttestationService::verify_quote(
+      quote.value(), root, Measurement::of_code("evil-code"), nonce,
+      enclave.channel_public_key()));
+  EXPECT_FALSE(AttestationService::verify_quote(
+      quote.value(), root, Measurement::of_code("pprox-ua-v1"),
+      rng_.bytes(16), enclave.channel_public_key()));
+  // Quote must bind the channel key: substituting another enclave's key (a
+  // man-in-the-middle provisioning attempt) fails.
+  EXPECT_FALSE(AttestationService::verify_quote(
+      quote.value(), root, Measurement::of_code("pprox-ua-v1"), nonce,
+      other.channel_public_key()));
+}
+
+TEST_F(EnclaveTest, VerifyRejectsForgedSignature) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  ias_.register_platform(enclave);
+  const Bytes nonce = rng_.bytes(16);
+  auto quote = ias_.issue_quote(enclave, nonce);
+  ASSERT_TRUE(quote.ok());
+  quote.value().signature[5] ^= 0x10;
+  EXPECT_FALSE(AttestationService::verify_quote(
+      quote.value(), ias_.root_public_key(),
+      Measurement::of_code("pprox-ua-v1"), nonce,
+      enclave.channel_public_key()));
+}
+
+TEST_F(EnclaveTest, ProvisionRejectsGarbageAndDoubleProvision) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  EXPECT_FALSE(enclave.provision(Bytes(10, 0)).ok());
+  const auto blob = crypto::hybrid_encrypt(enclave.channel_public_key(),
+                                           to_bytes("secrets"), rng_);
+  ASSERT_TRUE(enclave.provision(blob.value()).ok());
+  EXPECT_FALSE(enclave.provision(blob.value()).ok());  // already provisioned
+}
+
+TEST_F(EnclaveTest, ProvisionForWrongEnclaveFails) {
+  Enclave a("pprox-ua-v1", rng_);
+  Enclave b("pprox-ua-v1", rng_);
+  const auto blob_for_a =
+      crypto::hybrid_encrypt(a.channel_public_key(), to_bytes("secrets"), rng_);
+  // The blob is bound to a's channel key; b cannot decrypt it.
+  EXPECT_FALSE(b.provision(blob_for_a.value()).ok());
+}
+
+TEST_F(EnclaveTest, EcallBeforeProvisionThrows) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  EXPECT_THROW(enclave.ecall([](ByteView) { return 0; }), std::logic_error);
+}
+
+TEST_F(EnclaveTest, EcallsAreCounted) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  const auto blob = crypto::hybrid_encrypt(enclave.channel_public_key(),
+                                           to_bytes("s"), rng_);
+  ASSERT_TRUE(enclave.provision(blob.value()).ok());
+  EXPECT_EQ(enclave.transition_count(), 0u);
+  for (int i = 0; i < 5; ++i) enclave.ecall([](ByteView) { return 0; });
+  EXPECT_EQ(enclave.transition_count(), 5u);
+}
+
+TEST_F(EnclaveTest, SealUnsealRoundTripAndTamperDetection) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  const Bytes data = to_bytes("sealed state: pending response keys");
+  Bytes sealed = enclave.seal(data);
+  const auto back = enclave.unseal(sealed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+
+  sealed[3] ^= 0x01;
+  EXPECT_FALSE(enclave.unseal(sealed).ok());
+  EXPECT_FALSE(enclave.unseal(Bytes(5, 0)).ok());
+}
+
+TEST_F(EnclaveTest, SealingIsPlatformBound) {
+  Enclave a("pprox-ua-v1", rng_);
+  Enclave b("pprox-ua-v1", rng_);  // same code, different platform instance
+  const Bytes sealed = a.seal(to_bytes("data"));
+  EXPECT_FALSE(b.unseal(sealed).ok());
+}
+
+TEST_F(EnclaveTest, SecretsIsolatedUntilBreach) {
+  Enclave enclave("pprox-ua-v1", rng_);
+  const auto blob = crypto::hybrid_encrypt(enclave.channel_public_key(),
+                                           to_bytes("kUA||skUA"), rng_);
+  ASSERT_TRUE(enclave.provision(blob.value()).ok());
+
+  EXPECT_FALSE(enclave.breached());
+  EXPECT_FALSE(enclave.exfiltrate_secrets().ok());
+  EXPECT_FALSE(enclave.exfiltrate_channel_key().ok());
+
+  enclave.breach();  // side-channel attack succeeds (paper §2.3 ➍)
+  EXPECT_TRUE(enclave.breached());
+  const auto stolen = enclave.exfiltrate_secrets();
+  ASSERT_TRUE(stolen.ok());
+  EXPECT_EQ(to_string(stolen.value()), "kUA||skUA");
+  EXPECT_TRUE(enclave.exfiltrate_channel_key().ok());
+}
+
+}  // namespace
+}  // namespace pprox::enclave

@@ -1,0 +1,164 @@
+// AES-GCM against NIST GCM test vectors plus AEAD property tests.
+#include <gtest/gtest.h>
+
+#include "common/encoding.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/gcm.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+Bytes h(std::string_view hex) { return *hex_decode(hex); }
+
+std::array<std::uint8_t, 12> nonce_of(std::string_view hex) {
+  const Bytes raw = h(hex);
+  std::array<std::uint8_t, 12> nonce{};
+  std::copy(raw.begin(), raw.end(), nonce.begin());
+  return nonce;
+}
+
+// NIST GCM spec (SP 800-38D validation suite / McGrew-Viega paper vectors).
+TEST(AesGcm, NistAes128EmptyPlaintext) {
+  // Test case 1: key 0^128, nonce 0^96, empty everything.
+  const AesGcm gcm(Bytes(16, 0));
+  const auto sealed = gcm.seal(nonce_of("000000000000000000000000"), {});
+  EXPECT_EQ(hex_encode(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistAes128SingleBlock) {
+  // Test case 2: key 0^128, nonce 0^96, plaintext 0^128.
+  const AesGcm gcm(Bytes(16, 0));
+  const auto sealed =
+      gcm.seal(nonce_of("000000000000000000000000"), Bytes(16, 0));
+  EXPECT_EQ(hex_encode(sealed),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, NistAes128FourBlocksWithAad) {
+  // Test case 4: 60-byte plaintext, 20-byte AAD.
+  const AesGcm gcm(h("feffe9928665731c6d6a8f9467308308"));
+  const auto nonce = nonce_of("cafebabefacedbaddecaf888");
+  const Bytes plaintext = h(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b39");
+  const Bytes aad = h("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto sealed = gcm.seal(nonce, plaintext, aad);
+  EXPECT_EQ(hex_encode(sealed),
+            "42831ec2217774244b7221b784d0d49c"
+            "e3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa05"
+            "1ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+  // And the inverse direction.
+  const auto opened = gcm.open(nonce, sealed, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), plaintext);
+}
+
+TEST(AesGcm, NistAes256SingleBlock) {
+  // AES-256 test case: key 0^256, nonce 0^96, plaintext 0^128.
+  const AesGcm gcm(Bytes(32, 0));
+  const auto sealed =
+      gcm.seal(nonce_of("000000000000000000000000"), Bytes(16, 0));
+  EXPECT_EQ(hex_encode(sealed),
+            "cea7403d4d606b6e074ec5d3baf39d18"
+            "d0d1c8a799996bf0265b98b5d48ab919");
+}
+
+TEST(AesGcm, TamperedCiphertextRejected) {
+  const AesGcm gcm(Bytes(32, 7));
+  const auto nonce = nonce_of("0102030405060708090a0b0c");
+  Bytes sealed = gcm.seal(nonce, to_bytes("recommendations list"));
+  sealed[4] ^= 0x01;
+  EXPECT_FALSE(gcm.open(nonce, sealed).ok());
+}
+
+TEST(AesGcm, TamperedTagRejected) {
+  const AesGcm gcm(Bytes(32, 7));
+  const auto nonce = nonce_of("0102030405060708090a0b0c");
+  Bytes sealed = gcm.seal(nonce, to_bytes("payload"));
+  sealed.back() ^= 0x80;
+  EXPECT_FALSE(gcm.open(nonce, sealed).ok());
+}
+
+TEST(AesGcm, WrongAadRejected) {
+  const AesGcm gcm(Bytes(32, 7));
+  const auto nonce = nonce_of("0102030405060708090a0b0c");
+  const Bytes sealed = gcm.seal(nonce, to_bytes("data"), to_bytes("aad-1"));
+  EXPECT_TRUE(gcm.open(nonce, sealed, to_bytes("aad-1")).ok());
+  EXPECT_FALSE(gcm.open(nonce, sealed, to_bytes("aad-2")).ok());
+  EXPECT_FALSE(gcm.open(nonce, sealed, {}).ok());
+}
+
+TEST(AesGcm, WrongNonceRejected) {
+  const AesGcm gcm(Bytes(32, 7));
+  const Bytes sealed =
+      gcm.seal(nonce_of("0102030405060708090a0b0c"), to_bytes("data"));
+  EXPECT_FALSE(gcm.open(nonce_of("ffffffffffffffffffffffff"), sealed).ok());
+}
+
+TEST(AesGcm, TruncatedMessageRejected) {
+  const AesGcm gcm(Bytes(32, 7));
+  EXPECT_FALSE(gcm.open(nonce_of("000000000000000000000000"), Bytes(8, 0)).ok());
+  EXPECT_FALSE(gcm.open_with_nonce(Bytes(20, 0)).ok());
+}
+
+class GcmRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmRoundTrip, SealOpenIdentityAllSizes) {
+  Drbg rng(to_bytes("gcm-prop"));
+  const AesGcm gcm(rng.bytes(32));
+  const Bytes plaintext = rng.bytes(GetParam());
+  const Bytes aad = rng.bytes(GetParam() % 37);
+  const Bytes packed = gcm.seal_with_random_nonce(plaintext, rng, aad);
+  EXPECT_EQ(packed.size(), plaintext.size() + 12 + 16);
+  const auto opened = gcm.open_with_nonce(packed, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 100,
+                                           255, 1000, 2048));
+
+TEST(AesGcm, RandomNonceSealsDiffer) {
+  Drbg rng(to_bytes("gcm-nonce"));
+  const AesGcm gcm(rng.bytes(32));
+  const auto p = to_bytes("same plaintext");
+  EXPECT_NE(gcm.seal_with_random_nonce(p, rng), gcm.seal_with_random_nonce(p, rng));
+}
+
+TEST(Gf128, MultiplyBasics) {
+  // 1 * y = y (the GHASH "1" is the bit-reflected MSB-first 0x80...).
+  std::uint8_t one[16] = {0x80};
+  std::uint8_t y[16];
+  for (int i = 0; i < 16; ++i) y[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  std::uint8_t x[16];
+  std::memcpy(x, one, 16);
+  gf128_mul(x, y);
+  EXPECT_EQ(Bytes(x, x + 16), Bytes(y, y + 16));
+
+  // 0 * y = 0.
+  std::uint8_t zero[16] = {};
+  gf128_mul(zero, y);
+  EXPECT_EQ(Bytes(zero, zero + 16), Bytes(16, 0));
+}
+
+TEST(Gf128, MultiplyCommutes) {
+  std::uint8_t a[16], b[16], ab[16], ba[16];
+  for (int i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::uint8_t>(i * 31 + 1);
+    b[i] = static_cast<std::uint8_t>(i * 7 + 11);
+  }
+  std::memcpy(ab, a, 16);
+  gf128_mul(ab, b);
+  std::memcpy(ba, b, 16);
+  gf128_mul(ba, a);
+  EXPECT_EQ(Bytes(ab, ab + 16), Bytes(ba, ba + 16));
+}
+
+}  // namespace
+}  // namespace pprox::crypto

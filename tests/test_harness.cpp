@@ -1,0 +1,154 @@
+// HarnessServer (the LRS) REST behaviour and the nginx-like stub.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "json/json.hpp"
+#include "lrs/harness.hpp"
+
+namespace pprox::lrs {
+namespace {
+
+http::HttpResponse call(net::RequestSink& sink, const std::string& method,
+                        const std::string& target, const std::string& body) {
+  http::HttpRequest req;
+  req.method = method;
+  req.target = target;
+  req.body = body;
+  std::promise<http::HttpResponse> promise;
+  auto future = promise.get_future();
+  sink.handle(std::move(req),
+              [&promise](http::HttpResponse r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+TEST(Harness, HealthEndpoint) {
+  HarnessServer lrs;
+  EXPECT_EQ(call(lrs, "GET", "/health", "").status, 200);
+}
+
+TEST(Harness, EventInsertionViaRest) {
+  HarnessServer lrs;
+  const auto resp = call(lrs, "POST", "/engines/ur/events",
+                         R"({"user":"u1","item":"movie-1"})");
+  EXPECT_EQ(resp.status, 201);
+  EXPECT_EQ(lrs.event_count(), 1u);
+  EXPECT_EQ(lrs.user_history("u1"), std::vector<std::string>{"movie-1"});
+}
+
+TEST(Harness, EventValidation) {
+  HarnessServer lrs;
+  EXPECT_EQ(call(lrs, "POST", "/engines/ur/events", "not json").status, 400);
+  EXPECT_EQ(call(lrs, "POST", "/engines/ur/events", R"({"user":"u"})").status, 400);
+  EXPECT_EQ(call(lrs, "POST", "/engines/ur/events", R"({"item":"i"})").status, 400);
+  EXPECT_EQ(call(lrs, "POST", "/engines/ur/events", R"([1,2])").status, 400);
+  EXPECT_EQ(lrs.event_count(), 0u);
+}
+
+TEST(Harness, UnknownRouteAndMethod) {
+  HarnessServer lrs;
+  EXPECT_EQ(call(lrs, "POST", "/nope", "{}").status, 404);
+  EXPECT_EQ(call(lrs, "GET", "/engines/ur/events", "").status, 405);
+}
+
+TEST(Harness, TrainThenQueryReturnsCoLiked) {
+  HarnessServer lrs;
+  // u1, u2 like both A and B; u3 likes only A.
+  for (const auto& [u, i] : std::vector<std::pair<std::string, std::string>>{
+           {"u1", "A"}, {"u1", "B"}, {"u2", "A"}, {"u2", "B"},
+           {"u3", "A"}, {"u4", "C"}}) {
+    EXPECT_EQ(call(lrs, "POST", "/engines/ur/events",
+                   R"({"user":")" + u + R"(","item":")" + i + R"("})")
+                  .status,
+              201);
+  }
+  const auto train = call(lrs, "POST", "/engines/ur/train", "");
+  EXPECT_EQ(train.status, 200);
+  EXPECT_GT(lrs.indexed_items(), 0u);
+
+  const auto resp = call(lrs, "POST", "/engines/ur/queries", R"({"user":"u3"})");
+  ASSERT_EQ(resp.status, 200);
+  const auto doc = json::parse(resp.body);
+  ASSERT_TRUE(doc.ok());
+  const auto* items = doc.value().find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_FALSE(items->as_array().empty());
+  EXPECT_EQ(items->as_array()[0].as_string(), "B");  // co-liked with A
+}
+
+TEST(Harness, QueryExcludesOwnHistory) {
+  HarnessServer lrs;
+  lrs.post_event("u1", "A");
+  lrs.post_event("u1", "B");
+  lrs.post_event("u2", "A");
+  lrs.post_event("u2", "B");
+  lrs.train();
+  const auto resp = lrs.query("u1");  // u1 already has both items
+  const auto doc = json::parse(resp.body);
+  ASSERT_TRUE(doc.ok());
+  for (const auto& item : doc.value().find("items")->as_array()) {
+    EXPECT_NE(item.as_string(), "A");
+    EXPECT_NE(item.as_string(), "B");
+  }
+}
+
+TEST(Harness, QueryBeforeTrainReturnsEmptyList) {
+  HarnessServer lrs;
+  lrs.post_event("u1", "A");
+  const auto resp = lrs.query("u1");
+  EXPECT_EQ(resp.status, 200);
+  const auto doc = json::parse(resp.body);
+  EXPECT_TRUE(doc.value().find("items")->as_array().empty());
+}
+
+TEST(Harness, QueryValidation) {
+  HarnessServer lrs;
+  EXPECT_EQ(call(lrs, "POST", "/engines/ur/queries", "garbage").status, 400);
+  EXPECT_EQ(call(lrs, "POST", "/engines/ur/queries", "{}").status, 400);
+}
+
+TEST(Harness, ResultListCapped) {
+  HarnessConfig config;
+  config.max_recommendations = 5;
+  HarnessServer lrs(config);
+  // One heavy user co-likes everything with everyone.
+  for (int u = 0; u < 10; ++u) {
+    for (int i = 0; i < 30; ++i) {
+      lrs.post_event("u" + std::to_string(u), "i" + std::to_string(i));
+    }
+  }
+  lrs.post_event("probe", "i0");
+  lrs.train();
+  const auto resp = lrs.query("probe");
+  const auto doc = json::parse(resp.body);
+  EXPECT_LE(doc.value().find("items")->as_array().size(), 5u);
+}
+
+TEST(Harness, HistoryIsInsertionOrderedAndDeduplicated) {
+  HarnessServer lrs;
+  lrs.post_event("u", "b");
+  lrs.post_event("u", "a");
+  lrs.post_event("u", "b");
+  EXPECT_EQ(lrs.user_history("u"), (std::vector<std::string>{"b", "a"}));
+  EXPECT_TRUE(lrs.user_history("ghost").empty());
+}
+
+TEST(Stub, ReturnsConstantPayload) {
+  StubServer stub(20);
+  const auto a = call(stub, "POST", "/engines/ur/queries", R"({"user":"x"})");
+  const auto b = call(stub, "POST", "/anything", "whatever");
+  EXPECT_EQ(a.status, 200);
+  EXPECT_EQ(a.body, b.body);  // static payload regardless of request
+  const auto doc = json::parse(a.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().find("items")->as_array().size(), 20u);
+}
+
+TEST(Stub, ConfigurableListSize) {
+  StubServer stub(7);
+  const auto doc = json::parse(stub.payload());
+  EXPECT_EQ(doc.value().find("items")->as_array().size(), 7u);
+}
+
+}  // namespace
+}  // namespace pprox::lrs

@@ -1,0 +1,112 @@
+// Layer key material: serialization, generation, attest-and-provision flow.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "pprox/keys.hpp"
+
+namespace pprox {
+namespace {
+
+class KeysTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::Drbg(to_bytes("keys-test"));
+    keys_ = new ApplicationKeys(ApplicationKeys::generate(*rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static crypto::Drbg* rng_;
+  static ApplicationKeys* keys_;
+};
+
+crypto::Drbg* KeysTest::rng_ = nullptr;
+ApplicationKeys* KeysTest::keys_ = nullptr;
+
+TEST_F(KeysTest, GenerateProducesDistinctLayers) {
+  EXPECT_NE(keys_->ua.sk.n.to_hex(), keys_->ia.sk.n.to_hex());
+  EXPECT_NE(keys_->ua.k, keys_->ia.k);
+  EXPECT_EQ(keys_->ua.k.size(), 32u);
+  EXPECT_EQ(keys_->ia.k.size(), 32u);
+}
+
+TEST_F(KeysTest, ClientParamsMatchPrivateKeys) {
+  const ClientParams params = keys_->client_params();
+  EXPECT_EQ(params.pk_ua.n.to_hex(), keys_->ua.sk.n.to_hex());
+  EXPECT_EQ(params.pk_ia.n.to_hex(), keys_->ia.sk.n.to_hex());
+}
+
+TEST_F(KeysTest, SerializeDeserializeRoundTrip) {
+  const Bytes blob = keys_->ua.serialize();
+  const auto back = LayerSecrets::deserialize(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().sk.n.to_hex(), keys_->ua.sk.n.to_hex());
+  EXPECT_EQ(back.value().sk.d.to_hex(), keys_->ua.sk.d.to_hex());
+  EXPECT_EQ(back.value().sk.q_inv.to_hex(), keys_->ua.sk.q_inv.to_hex());
+  EXPECT_EQ(back.value().k, keys_->ua.k);
+}
+
+TEST_F(KeysTest, DeserializeRejectsCorruptBlobs) {
+  Bytes blob = keys_->ua.serialize();
+  EXPECT_FALSE(LayerSecrets::deserialize(Bytes(blob.begin(), blob.begin() + 10)).ok());
+  Bytes extended = blob;
+  extended.push_back(0);
+  EXPECT_FALSE(LayerSecrets::deserialize(extended).ok());
+  EXPECT_FALSE(LayerSecrets::deserialize(Bytes{}).ok());
+}
+
+TEST_F(KeysTest, DeserializedKeyStillDecrypts) {
+  const auto blob = keys_->ia.serialize();
+  const auto restored = LayerSecrets::deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  const auto ct = crypto::rsa_encrypt_oaep(keys_->ia.sk.public_key(),
+                                           to_bytes("probe"), *rng_);
+  ASSERT_TRUE(ct.ok());
+  const auto pt = crypto::rsa_decrypt_oaep(restored.value().sk, ct.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(to_string(pt.value()), "probe");
+}
+
+TEST_F(KeysTest, AttestAndProvisionHappyPath) {
+  enclave::AttestationService authority(*rng_);
+  enclave::Enclave enclave(kUaCodeIdentity, *rng_);
+  authority.register_platform(enclave);
+  const Status s = attest_and_provision(
+      enclave, authority, enclave::Measurement::of_code(kUaCodeIdentity),
+      keys_->ua, *rng_);
+  ASSERT_TRUE(s.ok()) << s.error().message;
+  EXPECT_TRUE(enclave.provisioned());
+  // The enclave can reconstruct the secrets.
+  enclave.ecall([&](ByteView blob) {
+    const auto secrets = LayerSecrets::deserialize(blob);
+    EXPECT_TRUE(secrets.ok());
+    EXPECT_EQ(secrets.value().k, keys_->ua.k);
+    return 0;
+  });
+}
+
+TEST_F(KeysTest, ProvisionRefusedForWrongMeasurement) {
+  enclave::AttestationService authority(*rng_);
+  enclave::Enclave evil("evil-proxy-code", *rng_);
+  authority.register_platform(evil);
+  const Status s = attest_and_provision(
+      evil, authority, enclave::Measurement::of_code(kUaCodeIdentity),
+      keys_->ua, *rng_);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(evil.provisioned());  // secrets never left the client
+}
+
+TEST_F(KeysTest, ProvisionRefusedForUnregisteredPlatform) {
+  enclave::AttestationService authority(*rng_);
+  enclave::Enclave enclave(kUaCodeIdentity, *rng_);  // not registered
+  const Status s = attest_and_provision(
+      enclave, authority, enclave::Measurement::of_code(kUaCodeIdentity),
+      keys_->ua, *rng_);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace pprox

@@ -1,0 +1,98 @@
+// Wire-format invariants: fixed-size identifier blocks, constant-size
+// response blocks, recommendation padding.
+#include <gtest/gtest.h>
+
+#include "pprox/message.hpp"
+
+namespace pprox {
+namespace {
+
+TEST(PadIdentifier, RoundTripsAndIsConstantSize) {
+  for (const std::string& id : std::vector<std::string>{
+           "", "u", "user-12345", std::string(kMaxIdLength, 'x')}) {
+    const auto block = pad_identifier(id);
+    ASSERT_TRUE(block.ok()) << id;
+    EXPECT_EQ(block.value().size(), kIdBlockSize);
+    const auto back = unpad_identifier(block.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), id);
+  }
+}
+
+TEST(PadIdentifier, RejectsOversized) {
+  EXPECT_FALSE(pad_identifier(std::string(kMaxIdLength + 1, 'x')).ok());
+}
+
+TEST(PadIdentifier, DistinctIdsDistinctBlocks) {
+  EXPECT_NE(pad_identifier("user-1").value(), pad_identifier("user-2").value());
+  // Tricky case: "a" vs "a\0" style confusion is prevented by the length
+  // prefix.
+  const std::string with_nul("a\0", 2);
+  EXPECT_NE(pad_identifier("a").value(), pad_identifier(with_nul).value());
+}
+
+TEST(UnpadIdentifier, RejectsMalformedBlocks) {
+  EXPECT_FALSE(unpad_identifier(Bytes(10, 0)).ok());               // wrong size
+  Bytes corrupt(kIdBlockSize, 0);
+  corrupt[0] = 0xFF;  // length way past capacity
+  corrupt[1] = 0xFF;
+  EXPECT_FALSE(unpad_identifier(corrupt).ok());
+}
+
+TEST(PadRecommendations, PadsShortLists) {
+  const auto padded = pad_recommendations({"a", "b"});
+  EXPECT_EQ(padded.size(), kMaxRecommendations);
+  EXPECT_EQ(padded[0], "a");
+  EXPECT_EQ(padded[1], "b");
+  for (std::size_t i = 2; i < padded.size(); ++i) {
+    EXPECT_EQ(padded[i].rfind(kPadItemPrefix, 0), 0u) << padded[i];
+  }
+}
+
+TEST(PadRecommendations, TruncatesLongLists) {
+  std::vector<std::string> many(kMaxRecommendations + 5, "item");
+  EXPECT_EQ(pad_recommendations(many).size(), kMaxRecommendations);
+}
+
+TEST(StripPadItems, InverseOfPadding) {
+  const std::vector<std::string> original = {"x", "y", "z"};
+  EXPECT_EQ(strip_pad_items(pad_recommendations(original)), original);
+  // Full padding (empty recommendation list) strips to empty.
+  EXPECT_TRUE(strip_pad_items(pad_recommendations({})).empty());
+}
+
+TEST(ResponseBlock, ConstantSizeAndRoundTrip) {
+  const auto items = pad_recommendations({"movie-1", "movie-2"});
+  const auto block = encode_response_block(items);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().size(), kResponseBlockSize);
+
+  const auto other = encode_response_block(
+      pad_recommendations({"a-totally-different-item-name"}));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other.value().size(), kResponseBlockSize);  // size never varies
+
+  const auto back = decode_response_block(block.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), items);
+}
+
+TEST(ResponseBlock, RejectsOversizedList) {
+  // 20 maximal identifiers exceed the block size budget? They must NOT:
+  // kResponseBlockSize is chosen to fit kMaxRecommendations maximal ids.
+  std::vector<std::string> max_items(kMaxRecommendations,
+                                     std::string(kMaxIdLength, 'x'));
+  EXPECT_TRUE(encode_response_block(max_items).ok());
+  // ...but a list that ignores the id limit must be rejected.
+  std::vector<std::string> huge(kMaxRecommendations, std::string(200, 'y'));
+  EXPECT_FALSE(encode_response_block(huge).ok());
+}
+
+TEST(ResponseBlock, RejectsGarbage) {
+  EXPECT_FALSE(decode_response_block(to_bytes("not json")).ok());
+  EXPECT_FALSE(decode_response_block(to_bytes(R"({"a":1})")).ok());   // not a list
+  EXPECT_FALSE(decode_response_block(to_bytes(R"([1,2,3])")).ok());   // non-strings
+}
+
+}  // namespace
+}  // namespace pprox

@@ -1,0 +1,241 @@
+// Transport tests: in-process channels, round-robin balancing, and the real
+// epoll TCP server with the pooled client channel.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "net/channel.hpp"
+#include "net/tcp.hpp"
+
+namespace pprox::net {
+namespace {
+
+http::HttpResponse sync_send(HttpChannel& channel, http::HttpRequest request) {
+  std::promise<http::HttpResponse> promise;
+  auto future = promise.get_future();
+  channel.send(std::move(request),
+               [&promise](http::HttpResponse r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+TEST(InProcChannel, DeliversToSink) {
+  FunctionSink sink([](const http::HttpRequest& req) {
+    return http::HttpResponse::json_response(200, "echo:" + req.body);
+  });
+  InProcChannel channel(sink);
+  http::HttpRequest req;
+  req.body = "hello";
+  EXPECT_EQ(sync_send(channel, req).body, "echo:hello");
+}
+
+TEST(RoundRobin, CyclesThroughBackends) {
+  std::atomic<int> hits_a{0}, hits_b{0};
+  auto sink_a = std::make_shared<FunctionSink>([&](const http::HttpRequest&) {
+    hits_a.fetch_add(1);
+    return http::HttpResponse::json_response(200, "a");
+  });
+  auto sink_b = std::make_shared<FunctionSink>([&](const http::HttpRequest&) {
+    hits_b.fetch_add(1);
+    return http::HttpResponse::json_response(200, "b");
+  });
+  RoundRobinChannel lb({std::make_shared<InProcChannel>(*sink_a),
+                        std::make_shared<InProcChannel>(*sink_b)});
+  for (int i = 0; i < 10; ++i) sync_send(lb, {});
+  EXPECT_EQ(hits_a.load(), 5);
+  EXPECT_EQ(hits_b.load(), 5);
+}
+
+TEST(RoundRobin, EmptyBackendsReturns503) {
+  RoundRobinChannel lb({});
+  EXPECT_EQ(sync_send(lb, {}).status, 503);
+}
+
+class TcpFixture : public ::testing::Test {
+ protected:
+  TcpFixture()
+      : sink_([this](const http::HttpRequest& req) {
+          requests_seen_.fetch_add(1);
+          http::HttpResponse resp;
+          resp.status = 200;
+          resp.body = "method=" + req.method + " target=" + req.target +
+                      " body=" + req.body;
+          return resp;
+        }),
+        server_(0, sink_) {}
+
+  std::atomic<int> requests_seen_{0};
+  FunctionSink sink_;
+  TcpServer server_;
+};
+
+TEST_F(TcpFixture, SingleRoundTrip) {
+  TcpChannel channel(server_.port(), 1);
+  http::HttpRequest req;
+  req.method = "POST";
+  req.target = "/events";
+  req.body = "feedback";
+  const auto resp = sync_send(channel, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "method=POST target=/events body=feedback");
+}
+
+TEST_F(TcpFixture, ManySequentialRequestsReuseConnection) {
+  TcpChannel channel(server_.port(), 1);
+  for (int i = 0; i < 50; ++i) {
+    http::HttpRequest req;
+    req.body = "n" + std::to_string(i);
+    const auto resp = sync_send(channel, req);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("n" + std::to_string(i)), std::string::npos);
+  }
+  EXPECT_EQ(requests_seen_.load(), 50);
+}
+
+TEST_F(TcpFixture, ConcurrentClients) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  TcpChannel channel(server_.port(), 4);
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&channel, &ok] {
+      for (int i = 0; i < kPerThread; ++i) {
+        http::HttpRequest req;
+        req.body = "x";
+        if (sync_send(channel, req).status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(requests_seen_.load(), kThreads * kPerThread);
+}
+
+TEST_F(TcpFixture, LargeBodyRoundTrip) {
+  TcpChannel channel(server_.port(), 1);
+  http::HttpRequest req;
+  req.body = std::string(200 * 1024, 'z');
+  const auto resp = sync_send(channel, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find(std::string(1000, 'z')), std::string::npos);
+}
+
+TEST(TcpServerAsync, DeferredCompletionFromAnotherThread) {
+  // The sink answers from a detached thread after a delay — exercising the
+  // eventfd wakeup path the proxy's enclave workers rely on.
+  class DeferredSink final : public RequestSink {
+   public:
+    void handle(http::HttpRequest, RespondFn done) override {
+      std::thread([done = std::move(done)] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        done(http::HttpResponse::json_response(200, "deferred"));
+      }).detach();
+    }
+  };
+  DeferredSink sink;
+  TcpServer server(0, sink);
+  TcpChannel channel(server.port(), 2);
+  const auto resp = sync_send(channel, {});
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "deferred");
+}
+
+TEST(TcpChannelTimeout, HungUpstreamYields504) {
+  // A sink that never answers: the channel's deadline must fire.
+  class BlackHoleSink final : public RequestSink {
+   public:
+    void handle(http::HttpRequest, RespondFn done) override {
+      // Park the completion; never call it.
+      std::lock_guard<std::mutex> lock(mutex_);
+      parked_.push_back(std::move(done));
+    }
+    ~BlackHoleSink() override {
+      // Unpark on teardown so the server can shut down cleanly.
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& done : parked_) {
+        done(http::HttpResponse::error_response(503, "shutting down"));
+      }
+    }
+
+   private:
+    std::mutex mutex_;
+    std::vector<RespondFn> parked_;
+  };
+  BlackHoleSink sink;
+  TcpServer server(0, sink);
+  TcpChannel channel(server.port(), 1, std::chrono::milliseconds(150));
+  const auto start = std::chrono::steady_clock::now();
+  const auto resp = sync_send(channel, {});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(resp.status, 504);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  // The channel recovers: a fresh request on a healthy sink still works...
+  // (reconnection is exercised because the timed-out connection was dropped.)
+}
+
+TEST(TcpChannelTimeout, RecoversAfterTimeout) {
+  std::atomic<bool> answer{false};
+  class ToggleSink final : public RequestSink {
+   public:
+    explicit ToggleSink(std::atomic<bool>& answer) : answer_(&answer) {}
+    void handle(http::HttpRequest, RespondFn done) override {
+      if (answer_->load()) {
+        done(http::HttpResponse::json_response(200, "late-but-fine"));
+      }
+      // else: drop (leak the callback intentionally for the test).
+    }
+
+   private:
+    std::atomic<bool>* answer_;
+  };
+  ToggleSink sink(answer);
+  TcpServer server(0, sink);
+  TcpChannel channel(server.port(), 1, std::chrono::milliseconds(120));
+  EXPECT_EQ(sync_send(channel, {}).status, 504);
+  answer.store(true);
+  const auto resp = sync_send(channel, {});
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "late-but-fine");
+}
+
+TEST(TcpChannelError, ConnectFailureReturns503or502) {
+  TcpChannel channel(1, 1);  // port 1: nothing listening
+  const auto resp = sync_send(channel, {});
+  EXPECT_TRUE(resp.status == 503 || resp.status == 502) << resp.status;
+}
+
+TEST(TcpServerLifecycle, StopIsIdempotentAndJoins) {
+  FunctionSink sink([](const http::HttpRequest&) {
+    return http::HttpResponse::json_response(200, "{}");
+  });
+  auto server = std::make_unique<TcpServer>(0, sink);
+  const auto port = server->port();
+  EXPECT_GT(port, 0);
+  server->stop();
+  server->stop();
+  server.reset();
+}
+
+TEST(SocketHelpers, ListenConnectRoundTrip) {
+  auto listener = tcp_listen(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = local_port(listener.value());
+  ASSERT_TRUE(port.ok());
+  auto client = tcp_connect(port.value());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(write_all(client.value(), "ping").ok());
+}
+
+TEST(SocketHelpers, FdMoveSemantics) {
+  Fd a(42000);  // not a real fd; never used for I/O
+  const int raw = a.release();
+  EXPECT_EQ(raw, 42000);
+  EXPECT_FALSE(a.valid());
+  Fd b;
+  EXPECT_FALSE(b.valid());
+}
+
+}  // namespace
+}  // namespace pprox::net

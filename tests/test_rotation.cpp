@@ -1,0 +1,209 @@
+// Breach response: performance-based attack detection and key rotation with
+// LRS database re-encryption (paper §3 footnote 1).
+#include <gtest/gtest.h>
+
+#include "attack/adversary.hpp"
+#include "crypto/drbg.hpp"
+#include "pprox/deployment.hpp"
+#include "pprox/rotation.hpp"
+
+namespace pprox {
+namespace {
+
+TEST(BreachMonitor, NoAlarmOnStableLatency) {
+  BreachMonitor monitor(2.0, 16, 8);
+  for (int i = 0; i < 100; ++i) monitor.record("ua-0", 1.0 + 0.05 * (i % 3));
+  EXPECT_FALSE(monitor.attack_suspected("ua-0"));
+  EXPECT_NEAR(monitor.baseline_ms("ua-0"), 1.05, 0.1);
+}
+
+TEST(BreachMonitor, AlarmsOnSideChannelDegradation) {
+  BreachMonitor monitor(2.0, 16, 8);
+  for (int i = 0; i < 16; ++i) monitor.record("ua-0", 1.0);
+  EXPECT_FALSE(monitor.attack_suspected("ua-0"));
+  // A cache-priming attack makes every ecall several times slower
+  // (paper §2.3: "making enclave performance drop significantly").
+  for (int i = 0; i < 8; ++i) monitor.record("ua-0", 5.0);
+  EXPECT_TRUE(monitor.attack_suspected("ua-0"));
+}
+
+TEST(BreachMonitor, NeedsBaselineBeforeAlarming) {
+  BreachMonitor monitor(2.0, 16, 8);
+  for (int i = 0; i < 10; ++i) monitor.record("ua-0", 100.0);  // no baseline yet
+  EXPECT_FALSE(monitor.attack_suspected("ua-0"));
+  EXPECT_EQ(monitor.baseline_ms("ua-0"), 0);
+}
+
+TEST(BreachMonitor, NeedsFullRecentWindow) {
+  BreachMonitor monitor(2.0, 16, 8);
+  for (int i = 0; i < 16; ++i) monitor.record("ua-0", 1.0);
+  for (int i = 0; i < 3; ++i) monitor.record("ua-0", 50.0);  // window not full
+  EXPECT_FALSE(monitor.attack_suspected("ua-0"));
+}
+
+TEST(BreachMonitor, TracksEnclavesIndependently) {
+  BreachMonitor monitor(2.0, 4, 4);
+  for (int i = 0; i < 4; ++i) {
+    monitor.record("ua-0", 1.0);
+    monitor.record("ia-0", 1.0);
+  }
+  for (int i = 0; i < 4; ++i) monitor.record("ia-0", 10.0);
+  EXPECT_FALSE(monitor.attack_suspected("ua-0"));
+  EXPECT_TRUE(monitor.attack_suspected("ia-0"));
+  EXPECT_FALSE(monitor.attack_suspected("unknown"));
+}
+
+TEST(BreachMonitor, RecoversWhenAttackStops) {
+  BreachMonitor monitor(2.0, 8, 4);
+  for (int i = 0; i < 8; ++i) monitor.record("e", 1.0);
+  for (int i = 0; i < 4; ++i) monitor.record("e", 10.0);
+  EXPECT_TRUE(monitor.attack_suspected("e"));
+  for (int i = 0; i < 4; ++i) monitor.record("e", 1.0);  // window refills
+  EXPECT_FALSE(monitor.attack_suspected("e"));
+}
+
+class RotationTest : public ::testing::Test {
+ protected:
+  RotationTest()
+      : rng_(to_bytes("rotation-test")),
+        deployment_(DeploymentConfig{}, lrs_, rng_),
+        client_(deployment_.make_client(&rng_)) {
+    for (const auto& [u, i, p] :
+         std::vector<std::tuple<std::string, std::string, std::string>>{
+             {"u1", "A", "5"}, {"u1", "B", ""}, {"u2", "A", "4"},
+             {"u2", "B", ""}, {"u3", "C", "1"}, {"probe", "A", ""}}) {
+      EXPECT_TRUE(client_.post_sync(u, i, p).ok());
+    }
+    lrs_.train();
+  }
+
+  crypto::Drbg rng_;
+  lrs::HarnessServer lrs_;
+  Deployment deployment_;
+  ClientLibrary client_;
+};
+
+TEST_F(RotationTest, RotationPreservesDataAndPayloads) {
+  const auto before = lrs_.dump_event_rows();
+  const auto rotation = rotate_keys(deployment_.application_keys(), lrs_, rng_);
+  ASSERT_TRUE(rotation.ok());
+  EXPECT_EQ(rotation.value().rows_reencrypted, before.size());
+  const auto after = lrs_.dump_event_rows();
+  ASSERT_EQ(after.size(), before.size());
+  // Payload survives; pseudonyms all changed.
+  std::multiset<std::string> payloads_before, payloads_after;
+  std::set<std::string> users_before, users_after;
+  for (const auto& row : before) {
+    payloads_before.insert(row.payload);
+    users_before.insert(row.user);
+  }
+  for (const auto& row : after) {
+    payloads_after.insert(row.payload);
+    users_after.insert(row.item.empty() ? "" : row.user);
+  }
+  EXPECT_EQ(payloads_before, payloads_after);
+  for (const auto& u : users_after) EXPECT_EQ(users_before.count(u), 0u);
+}
+
+TEST_F(RotationTest, OldSecretsUselessAfterRotation) {
+  // The adversary fully looted both layers (worst case) BEFORE rotation.
+  attack::Adversary adversary;
+  adversary.steal_ua_secrets(deployment_.application_keys().ua);
+  adversary.steal_ia_secrets(deployment_.application_keys().ia);
+
+  const auto rotation = rotate_keys(deployment_.application_keys(), lrs_, rng_);
+  ASSERT_TRUE(rotation.ok());
+
+  // Old keys against the rotated database: every row now decrypts to junk
+  // (unpad fails or yields a non-identifier), so linking fails everywhere.
+  for (const auto& [u, i] : lrs_.dump_events()) {
+    const attack::LrsDbRow row{u, i};
+    const auto user = adversary.de_pseudonymize_user(row);
+    if (user.ok()) {
+      EXPECT_EQ(user.value().find("u"), std::string::npos)
+          << "old key recovered a plausible id: " << user.value();
+    }
+    EXPECT_FALSE(adversary.can_link("u1", "A", {row}, {}));
+  }
+}
+
+TEST_F(RotationTest, FreshDeploymentServesIdenticalRecommendationsAfterRotation) {
+  const auto before = client_.get_sync("probe");
+  ASSERT_TRUE(before.ok());
+
+  const auto rotation = rotate_keys(deployment_.application_keys(), lrs_, rng_);
+  ASSERT_TRUE(rotation.ok());
+  lrs_.train();  // pseudonym space changed: retrain
+
+  // Fresh enclaves provisioned with the new secrets; clients get new params.
+  // (Deployment generates its own keys, so provision enclaves by hand.)
+  enclave::AttestationService authority(rng_);
+  enclave::Enclave ua(kUaCodeIdentity, rng_);
+  enclave::Enclave ia(kIaCodeIdentity, rng_);
+  authority.register_platform(ua);
+  authority.register_platform(ia);
+  ASSERT_TRUE(attest_and_provision(ua, authority,
+                                   enclave::Measurement::of_code(kUaCodeIdentity),
+                                   rotation.value().new_keys.ua, rng_)
+                  .ok());
+  ASSERT_TRUE(attest_and_provision(ia, authority,
+                                   enclave::Measurement::of_code(kIaCodeIdentity),
+                                   rotation.value().new_keys.ia, rng_)
+                  .ok());
+  ProxyOptions ia_options;
+  ia_options.layer = ProxyOptions::Layer::kIa;
+  ProxyServer ia_proxy(ia_options, ia,
+                       std::make_shared<net::InProcChannel>(lrs_));
+  ProxyOptions ua_options;
+  ProxyServer ua_proxy(ua_options, ua,
+                       std::make_shared<net::InProcChannel>(ia_proxy));
+  ClientLibrary new_client(rotation.value().new_keys.client_params(),
+                           std::make_shared<net::InProcChannel>(ua_proxy),
+                           &rng_);
+
+  const auto after = new_client.get_sync("probe");
+  ASSERT_TRUE(after.ok()) << after.error().message;
+  EXPECT_EQ(after.value(), before.value());
+}
+
+TEST_F(RotationTest, DeploymentRotateIsOneCall) {
+  const auto before = client_.get_sync("probe");
+  ASSERT_TRUE(before.ok());
+  const auto old_keys = deployment_.application_keys();
+
+  ASSERT_TRUE(deployment_.rotate(lrs_, rng_).ok());
+  EXPECT_EQ(deployment_.key_epoch(), 1u);
+  lrs_.train();
+
+  // Keys actually changed; old client params are stale.
+  EXPECT_NE(deployment_.application_keys().ua.k, old_keys.ua.k);
+  EXPECT_FALSE(client_.post_sync("probe", "whatever").ok());
+
+  // A fresh client works and sees the same recommendations as before.
+  ClientLibrary fresh = deployment_.make_client(&rng_);
+  ASSERT_TRUE(fresh.post_sync("newbie", "A").ok());
+  const auto after = fresh.get_sync("probe");
+  ASSERT_TRUE(after.ok()) << after.error().message;
+  EXPECT_EQ(after.value(), before.value());
+
+  // Rotations stack.
+  ASSERT_TRUE(deployment_.rotate(lrs_, rng_).ok());
+  EXPECT_EQ(deployment_.key_epoch(), 2u);
+  lrs_.train();
+  ClientLibrary fresher = deployment_.make_client(&rng_);
+  EXPECT_TRUE(fresher.get_sync("probe").ok());
+}
+
+TEST(Rotation, RefusesCorruptDatabaseUntouched) {
+  crypto::Drbg rng(to_bytes("rot-corrupt"));
+  lrs::HarnessServer lrs;
+  lrs.post_event("not-a-pseudonym", "also-not", "");
+  const ApplicationKeys keys = ApplicationKeys::generate(rng);
+  const auto rotation = rotate_keys(keys, lrs, rng);
+  EXPECT_FALSE(rotation.ok());
+  // The store was not half-rotated.
+  EXPECT_EQ(lrs.dump_event_rows()[0].user, "not-a-pseudonym");
+}
+
+}  // namespace
+}  // namespace pprox

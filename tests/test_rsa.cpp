@@ -1,0 +1,173 @@
+// RSA keygen, PKCS#1 v1.5, OAEP, and signature tests. Key generation is the
+// slow part, so one 1024-bit pair is shared across the suite.
+#include <gtest/gtest.h>
+
+#include "common/encoding.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/rsa.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Drbg(to_bytes("rsa-test-seed"));
+    keys_ = new RsaKeyPair(rsa_generate(1024, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Drbg* rng_;
+  static RsaKeyPair* keys_;
+};
+
+Drbg* RsaTest::rng_ = nullptr;
+RsaKeyPair* RsaTest::keys_ = nullptr;
+
+TEST_F(RsaTest, KeyShape) {
+  EXPECT_EQ(keys_->pub.n.bit_length(), 1024u);
+  EXPECT_EQ(keys_->pub.e, BigInt(65537));
+  EXPECT_EQ(keys_->priv.p * keys_->priv.q, keys_->pub.n);
+  EXPECT_GE(keys_->priv.p, keys_->priv.q);  // CRT convention
+  EXPECT_EQ(keys_->pub.modulus_bytes(), 128u);
+}
+
+TEST_F(RsaTest, RawOpsAreInverses) {
+  const BigInt m = BigInt::from_hex("123456789abcdef");
+  const BigInt c = rsa_public_op(keys_->pub, m);
+  EXPECT_NE(c, m);
+  EXPECT_EQ(rsa_private_op(keys_->priv, c), m);
+}
+
+TEST_F(RsaTest, CrtMatchesPlainModexp) {
+  for (int i = 0; i < 5; ++i) {
+    const BigInt c = BigInt::random_below(keys_->pub.n, *rng_);
+    EXPECT_EQ(rsa_private_op(keys_->priv, c),
+              c.modexp(keys_->priv.d, keys_->priv.n));
+  }
+}
+
+TEST_F(RsaTest, Pkcs1RoundTrip) {
+  const auto msg = to_bytes("user-8412");
+  const auto ct = rsa_encrypt_pkcs1(keys_->pub, msg, *rng_);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct.value().size(), 128u);
+  const auto back = rsa_decrypt_pkcs1(keys_->priv, ct.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), msg);
+}
+
+TEST_F(RsaTest, Pkcs1IsRandomized) {
+  const auto msg = to_bytes("same-user");
+  const auto a = rsa_encrypt_pkcs1(keys_->pub, msg, *rng_);
+  const auto b = rsa_encrypt_pkcs1(keys_->pub, msg, *rng_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Randomized encryption: same plaintext, different ciphertexts — this is
+  // exactly why det_enc is needed for pseudonyms (paper §4.1).
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST_F(RsaTest, Pkcs1RejectsOversizedPlaintext) {
+  const Bytes big(128 - 10, 0x41);
+  EXPECT_FALSE(rsa_encrypt_pkcs1(keys_->pub, big, *rng_).ok());
+}
+
+TEST_F(RsaTest, Pkcs1MaxSizePlaintext) {
+  const Bytes msg(128 - 11, 0x42);
+  const auto ct = rsa_encrypt_pkcs1(keys_->pub, msg, *rng_);
+  ASSERT_TRUE(ct.ok());
+  const auto back = rsa_decrypt_pkcs1(keys_->priv, ct.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), msg);
+}
+
+TEST_F(RsaTest, Pkcs1RejectsCorruptedCiphertext) {
+  const auto ct = rsa_encrypt_pkcs1(keys_->pub, to_bytes("x"), *rng_);
+  ASSERT_TRUE(ct.ok());
+  Bytes bad = ct.value();
+  bad.pop_back();
+  EXPECT_FALSE(rsa_decrypt_pkcs1(keys_->priv, bad).ok());
+}
+
+TEST_F(RsaTest, OaepRoundTrip) {
+  const auto msg = to_bytes("item-identifier-17141");
+  const auto ct = rsa_encrypt_oaep(keys_->pub, msg, *rng_);
+  ASSERT_TRUE(ct.ok());
+  const auto back = rsa_decrypt_oaep(keys_->priv, ct.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), msg);
+}
+
+TEST_F(RsaTest, OaepEmptyAndMaxPlaintext) {
+  for (std::size_t len : {std::size_t{0}, std::size_t{128 - 2 * 32 - 2}}) {
+    const Bytes msg(len, 0x5a);
+    const auto ct = rsa_encrypt_oaep(keys_->pub, msg, *rng_);
+    ASSERT_TRUE(ct.ok()) << len;
+    const auto back = rsa_decrypt_oaep(keys_->priv, ct.value());
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(back.value(), msg);
+  }
+  EXPECT_FALSE(rsa_encrypt_oaep(keys_->pub, Bytes(63, 0), *rng_).ok());
+}
+
+TEST_F(RsaTest, OaepTamperDetected) {
+  const auto ct = rsa_encrypt_oaep(keys_->pub, to_bytes("payload"), *rng_);
+  ASSERT_TRUE(ct.ok());
+  Bytes bad = ct.value();
+  bad[bad.size() / 2] ^= 0x40;
+  EXPECT_FALSE(rsa_decrypt_oaep(keys_->priv, bad).ok());
+}
+
+TEST_F(RsaTest, OaepIsRandomized) {
+  const auto a = rsa_encrypt_oaep(keys_->pub, to_bytes("m"), *rng_);
+  const auto b = rsa_encrypt_oaep(keys_->pub, to_bytes("m"), *rng_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST_F(RsaTest, SignVerify) {
+  const auto msg = to_bytes("enclave quote: measurement || pk fingerprint");
+  const Bytes sig = rsa_sign_sha256(keys_->priv, msg);
+  EXPECT_TRUE(rsa_verify_sha256(keys_->pub, msg, sig));
+  EXPECT_FALSE(rsa_verify_sha256(keys_->pub, to_bytes("other"), sig));
+  Bytes bad = sig;
+  bad[0] ^= 1;
+  EXPECT_FALSE(rsa_verify_sha256(keys_->pub, msg, bad));
+  EXPECT_FALSE(rsa_verify_sha256(keys_->pub, msg, Bytes(10, 0)));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  Drbg rng2(to_bytes("second-key"));
+  const RsaKeyPair other = rsa_generate(1024, rng2);
+  const auto msg = to_bytes("message");
+  const Bytes sig = rsa_sign_sha256(keys_->priv, msg);
+  EXPECT_FALSE(rsa_verify_sha256(other.pub, msg, sig));
+}
+
+TEST_F(RsaTest, FingerprintStableAndKeyDependent) {
+  EXPECT_EQ(keys_->pub.fingerprint(), keys_->pub.fingerprint());
+  Drbg rng2(to_bytes("third-key"));
+  const RsaKeyPair other = rsa_generate(1024, rng2);
+  EXPECT_NE(keys_->pub.fingerprint(), other.pub.fingerprint());
+}
+
+TEST(Mgf1, KnownLengthAndDeterminism) {
+  const auto seed = to_bytes("seed");
+  const Bytes a = mgf1_sha256(seed, 100);
+  const Bytes b = mgf1_sha256(seed, 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  // Prefix property: longer mask extends the shorter one.
+  const Bytes c = mgf1_sha256(seed, 40);
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), a.begin()));
+  EXPECT_NE(mgf1_sha256(to_bytes("other"), 100), a);
+}
+
+}  // namespace
+}  // namespace pprox::crypto

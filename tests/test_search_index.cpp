@@ -1,0 +1,99 @@
+// Inverted index (Elasticsearch stand-in): scoring, exclusion, snapshots.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "lrs/search_index.hpp"
+
+namespace pprox::lrs {
+namespace {
+
+std::vector<IndexedItem> small_model() {
+  return {
+      {"movie-a", {{"movie-b", 2.0}, {"movie-c", 1.0}}},
+      {"movie-b", {{"movie-a", 2.0}}},
+      {"movie-c", {{"movie-a", 1.0}, {"movie-b", 3.0}}},
+      {"movie-d", {}},
+  };
+}
+
+TEST(SearchIndex, EmptyIndexReturnsNothing) {
+  SearchIndex index;
+  EXPECT_TRUE(index.query({"anything"}, {}, 10).empty());
+  EXPECT_EQ(index.document_count(), 0u);
+}
+
+TEST(SearchIndex, ScoresSumAcrossMatchedTerms) {
+  SearchIndex index;
+  index.replace_all(small_model());
+  // History {movie-a, movie-b}: movie-c matches both (1.0 + 3.0 = 4.0).
+  const auto hits = index.query({"movie-a", "movie-b"}, {}, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].item_id, "movie-c");
+  EXPECT_DOUBLE_EQ(hits[0].score, 4.0);
+}
+
+TEST(SearchIndex, ExcludesHistory) {
+  SearchIndex index;
+  index.replace_all(small_model());
+  const auto hits = index.query({"movie-b"}, {"movie-a"}, 10);
+  for (const auto& hit : hits) EXPECT_NE(hit.item_id, "movie-a");
+  // movie-a matched (weight 2.0) but was excluded; movie-c remains (3.0).
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].item_id, "movie-c");
+}
+
+TEST(SearchIndex, LimitTruncatesRanked) {
+  SearchIndex index;
+  std::vector<IndexedItem> model;
+  for (int i = 0; i < 50; ++i) {
+    model.push_back({"item-" + std::to_string(i),
+                     {{"t", static_cast<double>(i)}}});
+  }
+  index.replace_all(std::move(model));
+  const auto hits = index.query({"t"}, {}, 5);
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].item_id, "item-49");  // highest weight first
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(SearchIndex, DeterministicTieBreakByItemId) {
+  SearchIndex index;
+  index.replace_all({{"zzz", {{"t", 1.0}}}, {"aaa", {{"t", 1.0}}}});
+  const auto hits = index.query({"t"}, {}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].item_id, "aaa");
+  EXPECT_EQ(hits[1].item_id, "zzz");
+}
+
+TEST(SearchIndex, ReplaceAllBumpsGeneration) {
+  SearchIndex index;
+  EXPECT_EQ(index.generation(), 0u);
+  index.replace_all(small_model());
+  EXPECT_EQ(index.generation(), 1u);
+  EXPECT_EQ(index.document_count(), 4u);
+  index.replace_all({});
+  EXPECT_EQ(index.generation(), 2u);
+  EXPECT_EQ(index.document_count(), 0u);
+}
+
+TEST(SearchIndex, QueriesSurviveConcurrentRetraining) {
+  SearchIndex index;
+  index.replace_all(small_model());
+  std::thread trainer([&] {
+    for (int gen = 0; gen < 500; ++gen) index.replace_all(small_model());
+  });
+  for (int i = 0; i < 500; ++i) {
+    const auto hits = index.query({"movie-a", "movie-b"}, {}, 10);
+    // Every snapshot is complete: results come from one whole generation.
+    ASSERT_FALSE(hits.empty());
+    ASSERT_EQ(hits[0].item_id, "movie-c");
+  }
+  trainer.join();
+  EXPECT_GE(index.generation(), 500u);
+}
+
+}  // namespace
+}  // namespace pprox::lrs

@@ -1,0 +1,252 @@
+// Executable version of the paper's security analysis (§6.1): the adversary
+// observes every intercepted message and the full LRS database, breaches one
+// enclave layer at a time, and must still fail to link users to items.
+// Cases 1(a)-(c) and 2(a)-(c) are checked against the *real* pipeline — the
+// intercepted ciphertexts and database rows are exactly what the deployed
+// system puts on the wire and in storage.
+#include <gtest/gtest.h>
+
+#include "attack/adversary.hpp"
+#include "crypto/drbg.hpp"
+#include "json/json.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/deployment.hpp"
+
+namespace pprox::attack {
+namespace {
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  SecurityTest()
+      : rng_(to_bytes("security-test")),
+        deployment_(make_config(), lrs_, rng_),
+        client_(deployment_.make_client(&rng_)) {
+    // Ground-truth traffic: three users access three items. The adversary
+    // taps the client->UA wire (possible: it sees all cloud ingress).
+    for (const auto& [user, item] : traffic()) {
+      auto request = client_.build_post_request(user, item);
+      // Record the interception before delivery, like a wire tap.
+      InterceptedPost intercept;
+      intercept.source_address = "10.0.0." + user.substr(user.size() - 1);
+      intercept.user_field =
+          *json::get_string_field(request.value().body, "user");
+      intercept.item_field =
+          *json::get_string_field(request.value().body, "item");
+      intercepts_.push_back(intercept);
+      deliver(std::move(request.value()));
+    }
+    // The adversary also dumps the LRS database (§2.3 ➋).
+    for (const auto& [u, i] : lrs_.dump_events()) {
+      database_.push_back({u, i});
+    }
+  }
+
+  static DeploymentConfig make_config() {
+    DeploymentConfig config;
+    config.shuffle_size = 0;  // §6.1 analysis is about keys, not timing
+    return config;
+  }
+
+  static std::vector<std::pair<std::string, std::string>> traffic() {
+    return {{"alice", "diabetes-forum"},
+            {"bob", "political-news"},
+            {"carol", "dating-tips"}};
+  }
+
+  void deliver(http::HttpRequest request) {
+    std::promise<http::HttpResponse> promise;
+    auto future = promise.get_future();
+    deployment_.entry_channel()->send(std::move(request),
+                                      [&promise](http::HttpResponse r) {
+                                        promise.set_value(std::move(r));
+                                      });
+    ASSERT_EQ(future.get().status, 201);
+  }
+
+  LayerSecrets breach_ua() {
+    deployment_.ua_enclave(0).breach();
+    const auto blob = deployment_.ua_enclave(0).exfiltrate_secrets();
+    return LayerSecrets::deserialize(blob.value()).value();
+  }
+  LayerSecrets breach_ia() {
+    deployment_.ia_enclave(0).breach();
+    const auto blob = deployment_.ia_enclave(0).exfiltrate_secrets();
+    return LayerSecrets::deserialize(blob.value()).value();
+  }
+
+  bool adversary_links_anything(const Adversary& adversary) const {
+    for (const auto& [user, item] : traffic()) {
+      if (adversary.can_link(user, item, database_, intercepts_)) return true;
+    }
+    return false;
+  }
+
+  crypto::Drbg rng_;
+  lrs::HarnessServer lrs_;
+  Deployment deployment_;
+  ClientLibrary client_;
+  std::vector<InterceptedPost> intercepts_;
+  std::vector<LrsDbRow> database_;
+};
+
+TEST_F(SecurityTest, BaselineNoBreachNothingLinkable) {
+  Adversary adversary;
+  EXPECT_FALSE(adversary.recover_user(intercepts_[0]).ok());
+  EXPECT_FALSE(adversary.recover_item(intercepts_[0]).ok());
+  EXPECT_FALSE(adversary.de_pseudonymize_user(database_[0]).ok());
+  EXPECT_FALSE(adversary.de_pseudonymize_item(database_[0]).ok());
+  EXPECT_FALSE(adversary_links_anything(adversary));
+}
+
+TEST_F(SecurityTest, DatabaseHoldsOnlyPseudonyms) {
+  ASSERT_EQ(database_.size(), traffic().size());
+  for (const auto& row : database_) {
+    for (const auto& [user, item] : traffic()) {
+      EXPECT_NE(row.user_pseudonym, user);
+      EXPECT_NE(row.item_pseudonym, item);
+      EXPECT_EQ(row.user_pseudonym.find(user), std::string::npos);
+      EXPECT_EQ(row.item_pseudonym.find(item), std::string::npos);
+    }
+  }
+}
+
+TEST_F(SecurityTest, Case1aBrokenUaSeesUserNotItem) {
+  Adversary adversary;
+  adversary.steal_ua_secrets(breach_ua());
+
+  // The adversary links the IP to the user identity (paper concedes this)...
+  const auto user = adversary.recover_user(intercepts_[0]);
+  ASSERT_TRUE(user.ok());
+  EXPECT_EQ(user.value(), "alice");
+  // ...but cannot decrypt enc(i, pkIA) without IA secrets.
+  EXPECT_FALSE(adversary.recover_item(intercepts_[0]).ok());
+  EXPECT_FALSE(adversary_links_anything(adversary));
+}
+
+TEST_F(SecurityTest, Case1cBrokenUaPlusDatabase) {
+  Adversary adversary;
+  adversary.steal_ua_secrets(breach_ua());
+  // kUA de-pseudonymizes users in the database...
+  const auto user = adversary.de_pseudonymize_user(database_[0]);
+  ASSERT_TRUE(user.ok());
+  EXPECT_NE(std::find_if(traffic().begin(), traffic().end(),
+                         [&](const auto& t) { return t.first == user.value(); }),
+            traffic().end());
+  // ...items stay opaque: kIA lives in the other layer.
+  EXPECT_FALSE(adversary.de_pseudonymize_item(database_[0]).ok());
+  EXPECT_FALSE(adversary_links_anything(adversary));
+}
+
+TEST_F(SecurityTest, Case2aBrokenIaSeesItemNotUser) {
+  Adversary adversary;
+  adversary.steal_ia_secrets(breach_ia());
+
+  const auto item = adversary.recover_item(intercepts_[0]);
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item.value(), "diabetes-forum");
+  EXPECT_FALSE(adversary.recover_user(intercepts_[0]).ok());
+  EXPECT_FALSE(adversary_links_anything(adversary));
+}
+
+TEST_F(SecurityTest, Case2cBrokenIaPlusDatabase) {
+  Adversary adversary;
+  adversary.steal_ia_secrets(breach_ia());
+  const auto item = adversary.de_pseudonymize_item(database_[0]);
+  ASSERT_TRUE(item.ok());
+  EXPECT_FALSE(adversary.de_pseudonymize_user(database_[0]).ok());
+  EXPECT_FALSE(adversary_links_anything(adversary));
+}
+
+TEST_F(SecurityTest, BothLayersBreachedBreaksUnlinkability) {
+  // The model assumes one layer at a time (§2.3); violating it must break
+  // the guarantee — this is what the two-layer split defends, no more.
+  Adversary adversary;
+  adversary.steal_ua_secrets(breach_ua());
+  adversary.steal_ia_secrets(breach_ia());
+  EXPECT_TRUE(adversary.can_link("alice", "diabetes-forum", database_, intercepts_));
+  EXPECT_TRUE(adversary_links_anything(adversary));
+  // And it cannot fabricate links that never happened.
+  EXPECT_FALSE(adversary.can_link("alice", "dating-tips", database_, intercepts_));
+}
+
+TEST_F(SecurityTest, AllInstancesOfALayerShareSecrets) {
+  // Horizontal scaling note (§5): breaching any instance of a layer yields
+  // that layer's secrets — but still only one layer's.
+  DeploymentConfig config = make_config();
+  config.ua_instances = 3;
+  lrs::HarnessServer lrs2;
+  crypto::Drbg rng2(to_bytes("scale-sec"));
+  Deployment scaled(config, lrs2, rng2);
+  scaled.ua_enclave(2).breach();
+  const auto blob = scaled.ua_enclave(2).exfiltrate_secrets();
+  ASSERT_TRUE(blob.ok());
+  const auto secrets = LayerSecrets::deserialize(blob.value());
+  ASSERT_TRUE(secrets.ok());
+  EXPECT_EQ(secrets.value().k, scaled.application_keys().ua.k);
+}
+
+TEST(SecurityOptOut, DisabledItemPseudonymizationWeakensModel) {
+  // §6.3: with items in the clear at the LRS, a single UA breach suffices.
+  crypto::Drbg rng(to_bytes("optout"));
+  lrs::HarnessServer lrs;
+  DeploymentConfig config;
+  config.pseudonymize_items = false;
+  Deployment deployment(config, lrs, rng);
+  ClientLibrary client = deployment.make_client(&rng);
+  ASSERT_TRUE(client.post_sync("victim", "sensitive-item").ok());
+
+  std::vector<LrsDbRow> database;
+  for (const auto& [u, i] : lrs.dump_events()) database.push_back({u, i});
+  ASSERT_EQ(database.size(), 1u);
+  EXPECT_EQ(database[0].item_pseudonym, "sensitive-item");  // in the clear
+
+  Adversary adversary;
+  deployment.ua_enclave(0).breach();
+  adversary.steal_ua_secrets(
+      LayerSecrets::deserialize(
+          deployment.ua_enclave(0).exfiltrate_secrets().value())
+          .value());
+  EXPECT_TRUE(adversary.can_link("victim", "sensitive-item", database, {}));
+}
+
+TEST(HistoryAttackTest, RecurringCandidatesIsolateVictim) {
+  // §6.3: the victim's pseudonym recurs in every S-sized candidate set.
+  HistoryAttack attack;
+  SplitMix64 rng(3);
+  const std::string victim = "pseudo-victim";
+  int rounds_needed = 0;
+  for (int round = 0; round < 50 && !attack.victim_identified(); ++round) {
+    std::vector<std::string> candidates = {victim};
+    for (int j = 0; j < 9; ++j) {  // S = 10
+      candidates.push_back("pseudo-" + std::to_string(rng.next_below(500)));
+    }
+    attack.observe_round(candidates);
+    rounds_needed = round + 1;
+  }
+  ASSERT_TRUE(attack.victim_identified());
+  EXPECT_EQ(attack.surviving_candidates()[0], victim);
+  // With 500 decoys and S=10, a handful of rounds suffices — this is why
+  // §6.3 recommends hiding client IPs if history attacks are a concern.
+  EXPECT_LE(rounds_needed, 10);
+  EXPECT_GE(rounds_needed, 2);
+}
+
+TEST(HistoryAttackTest, NoFalsePositiveWithoutRecurrence) {
+  HistoryAttack attack;
+  attack.observe_round({"a", "b", "c"});
+  attack.observe_round({"d", "e", "f"});
+  EXPECT_TRUE(attack.surviving_candidates().empty());
+  EXPECT_FALSE(attack.victim_identified());
+  EXPECT_EQ(attack.rounds(), 2u);
+}
+
+TEST(HistoryAttackTest, DuplicatesInRoundHandled) {
+  HistoryAttack attack;
+  attack.observe_round({"x", "x", "y"});
+  attack.observe_round({"x", "z"});
+  EXPECT_EQ(attack.surviving_candidates(), std::vector<std::string>{"x"});
+  EXPECT_TRUE(attack.victim_identified());
+}
+
+}  // namespace
+}  // namespace pprox::attack

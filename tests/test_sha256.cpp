@@ -1,0 +1,111 @@
+// SHA-256 and HMAC-SHA256 against FIPS 180-4 / RFC 4231 vectors.
+#include <gtest/gtest.h>
+
+#include "common/encoding.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pprox::crypto {
+namespace {
+
+std::string digest_hex(ByteView data) {
+  const auto d = Sha256::digest(data);
+  return hex_encode(ByteView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(ByteView()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const auto in = to_bytes("abc");
+  EXPECT_EQ(digest_hex(in),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const auto in =
+      to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(digest_hex(in),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(hex_encode(ByteView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const auto data = to_bytes("the quick brown fox jumps over the lazy dog!");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView(data.data(), split));
+    h.update(ByteView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, DigestBytesMatchesDigest) {
+  const auto in = to_bytes("xyz");
+  const auto a = Sha256::digest(in);
+  const auto b = Sha256::digest_bytes(in);
+  EXPECT_EQ(Bytes(a.begin(), a.end()), b);
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding threshold.
+class Sha256Boundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Boundary, IncrementalByteAtATimeMatchesOneShot) {
+  Bytes data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  Sha256 h;
+  for (std::uint8_t b : data) h.update(ByteView(&b, 1));
+  EXPECT_EQ(h.finish(), Sha256::digest(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256Boundary,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 127, 128, 129, 1000));
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto data = to_bytes("Hi There");
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto key = to_bytes("Jefe");
+  const auto data = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const auto data = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDiffer) {
+  const auto msg = to_bytes("same message");
+  EXPECT_NE(hmac_sha256(to_bytes("k1"), msg), hmac_sha256(to_bytes("k2"), msg));
+}
+
+}  // namespace
+}  // namespace pprox::crypto

@@ -1,0 +1,130 @@
+// Discrete-event engine: ordering, timers, CPU queueing, samplers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/des.hpp"
+
+namespace pprox::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(4, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1);
+  EXPECT_DOUBLE_EQ(times[1], 5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(50, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_at(3, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10);
+}
+
+TEST(CpuPool, SerializesBeyondCoreCount) {
+  Simulator sim;
+  CpuPool pool(sim, 2);
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(10, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 4u);
+  // Two start immediately, two queue behind them.
+  EXPECT_DOUBLE_EQ(completions[0], 10);
+  EXPECT_DOUBLE_EQ(completions[1], 10);
+  EXPECT_DOUBLE_EQ(completions[2], 20);
+  EXPECT_DOUBLE_EQ(completions[3], 20);
+  EXPECT_DOUBLE_EQ(pool.cpu_time_used(), 40);
+}
+
+TEST(CpuPool, FifoOrderAmongQueued) {
+  Simulator sim;
+  CpuPool pool(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit(1, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(CpuPool, QueueDepthVisible) {
+  Simulator sim;
+  CpuPool pool(sim, 1);
+  for (int i = 0; i < 3; ++i) pool.submit(5, [] {});
+  EXPECT_EQ(pool.busy(), 1);
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  sim.run();
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(Samplers, ExponentialMeanMatchesRate) {
+  SplitMix64 rng(1);
+  const double rate_per_ms = 0.25;  // 250 rps
+  double total = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += exp_interarrival(rate_per_ms, rng);
+  const double mean = total / kN;
+  EXPECT_NEAR(mean, 1.0 / rate_per_ms, 0.1);
+}
+
+TEST(Samplers, LognormalMedianMatches) {
+  SplitMix64 rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(lognormal_sample(21.0, 0.45, rng));
+    EXPECT_GT(samples.back(), 0);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double median = samples[samples.size() / 2];
+  EXPECT_NEAR(median, 21.0, 0.8);
+}
+
+}  // namespace
+}  // namespace pprox::sim

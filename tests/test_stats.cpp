@@ -1,0 +1,111 @@
+// Tests for the candlestick/percentile statistics used by the evaluation.
+#include <gtest/gtest.h>
+
+#include "common/rand.hpp"
+#include "common/stats.hpp"
+
+namespace pprox {
+namespace {
+
+TEST(Stats, PercentilesOfKnownSequence) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(25), 25.75, 1e-9);
+  EXPECT_NEAR(s.percentile(75), 75.25, 1e-9);
+}
+
+TEST(Stats, MeanAndCount) {
+  SampleStats s;
+  s.add(2);
+  s.add(4);
+  s.add(6);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(Stats, SingleSampleCandlestick) {
+  SampleStats s;
+  s.add(42);
+  const Candlestick c = s.candlestick();
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_DOUBLE_EQ(c.median, 42);
+  EXPECT_DOUBLE_EQ(c.p25, 42);
+  EXPECT_DOUBLE_EQ(c.p75, 42);
+  EXPECT_DOUBLE_EQ(c.whisker_low, 42);
+  EXPECT_DOUBLE_EQ(c.whisker_high, 42);
+}
+
+TEST(Stats, WhiskersExcludeOutliers) {
+  SampleStats s;
+  // Tight cluster plus one far outlier.
+  for (int i = 0; i < 99; ++i) s.add(100 + (i % 10));
+  s.add(10000);
+  const Candlestick c = s.candlestick();
+  EXPECT_LT(c.whisker_high, 200);
+  EXPECT_DOUBLE_EQ(c.max, 10000);
+}
+
+TEST(Stats, WhiskersWithinFences) {
+  SplitMix64 rng(1);
+  SampleStats s;
+  for (int i = 0; i < 1000; ++i) s.add(rng.next_double() * 100);
+  const Candlestick c = s.candlestick();
+  const double iqr = c.p75 - c.p25;
+  EXPECT_GE(c.whisker_low, c.p25 - 1.5 * iqr - 1e-9);
+  EXPECT_LE(c.whisker_high, c.p75 + 1.5 * iqr + 1e-9);
+  EXPECT_LE(c.whisker_low, c.p25);
+  EXPECT_GE(c.whisker_high, c.p75);
+}
+
+TEST(Stats, MergeCombinesSamples) {
+  SampleStats a, b;
+  a.add(1);
+  a.add(2);
+  b.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(Stats, AddAllAppends) {
+  SampleStats s;
+  s.add_all({5, 6, 7});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 6);
+}
+
+TEST(Stats, EmptyThrows) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.percentile(50), std::runtime_error);
+  EXPECT_THROW(s.candlestick(), std::runtime_error);
+}
+
+TEST(Stats, PercentileMonotoneInQ) {
+  SplitMix64 rng(2);
+  SampleStats s;
+  for (int i = 0; i < 500; ++i) s.add(rng.next_double() * 1000);
+  double prev = s.percentile(0);
+  for (int q = 5; q <= 100; q += 5) {
+    const double cur = s.percentile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Stats, FormatRowContainsLabelAndHeaderAligns) {
+  SampleStats s;
+  s.add(1);
+  s.add(2);
+  s.add(3);
+  const auto row = format_candlestick_row("cfg-x", s.candlestick());
+  EXPECT_NE(row.find("cfg-x"), std::string::npos);
+  EXPECT_FALSE(candlestick_header().empty());
+}
+
+}  // namespace
+}  // namespace pprox

@@ -1,0 +1,188 @@
+// Multi-tenancy (§6.3): one proxy layer pair serving several applications
+// with distinct key material, shared shuffle buffers, and strict cross-
+// tenant isolation.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "crypto/drbg.hpp"
+#include "crypto/hybrid.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/client.hpp"
+#include "pprox/proxy.hpp"
+#include "pprox/tenancy.hpp"
+
+namespace pprox {
+namespace {
+
+TEST(TenantKeyring, SerializeDeserializeRoundTrip) {
+  crypto::Drbg rng(to_bytes("keyring"));
+  TenantKeyring keyring;
+  keyring.tenants.emplace("shop", ApplicationKeys::generate(rng).ua);
+  keyring.tenants.emplace("forum", ApplicationKeys::generate(rng).ua);
+  const Bytes blob = keyring.serialize();
+  EXPECT_TRUE(TenantKeyring::looks_like_keyring(blob));
+
+  const auto back = TenantKeyring::deserialize(blob);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().tenants.size(), 2u);
+  EXPECT_EQ(back.value().tenants.at("shop").k, keyring.tenants.at("shop").k);
+  EXPECT_EQ(back.value().tenants.at("forum").k, keyring.tenants.at("forum").k);
+}
+
+TEST(TenantKeyring, RejectsMalformedBlobs) {
+  EXPECT_FALSE(TenantKeyring::deserialize(Bytes{}).ok());
+  EXPECT_FALSE(TenantKeyring::deserialize(to_bytes("PPXT")).ok());
+  EXPECT_FALSE(TenantKeyring::deserialize(to_bytes("XXXX\x00\x01")).ok());
+  crypto::Drbg rng(to_bytes("kr2"));
+  TenantKeyring keyring;
+  keyring.tenants.emplace("a", ApplicationKeys::generate(rng).ua);
+  Bytes blob = keyring.serialize();
+  blob.pop_back();
+  EXPECT_FALSE(TenantKeyring::deserialize(blob).ok());
+  blob.push_back(0);
+  blob.push_back(0);
+  EXPECT_FALSE(TenantKeyring::deserialize(blob).ok());  // trailing bytes
+}
+
+TEST(TenantKeyring, SingleSecretsBlobIsNotAKeyring) {
+  crypto::Drbg rng(to_bytes("kr3"));
+  const Bytes blob = ApplicationKeys::generate(rng).ua.serialize();
+  EXPECT_FALSE(TenantKeyring::looks_like_keyring(blob));
+}
+
+class TenancyTest : public ::testing::Test {
+ protected:
+  TenancyTest() : rng_(to_bytes("tenancy-test")) {
+    shop_keys_ = ApplicationKeys::generate(rng_);
+    forum_keys_ = ApplicationKeys::generate(rng_);
+
+    TenantKeyring ua_ring, ia_ring;
+    ua_ring.tenants = {{"shop", shop_keys_.ua}, {"forum", forum_keys_.ua}};
+    ia_ring.tenants = {{"shop", shop_keys_.ia}, {"forum", forum_keys_.ia}};
+
+    ua_enclave_ = std::make_unique<enclave::Enclave>(kUaCodeIdentity, rng_);
+    ia_enclave_ = std::make_unique<enclave::Enclave>(kIaCodeIdentity, rng_);
+    provision(*ua_enclave_, ua_ring);
+    provision(*ia_enclave_, ia_ring);
+
+    ProxyOptions ia_options;
+    ia_options.layer = ProxyOptions::Layer::kIa;
+    ia_proxy_ = std::make_unique<ProxyServer>(
+        ia_options, *ia_enclave_, std::make_shared<net::InProcChannel>(lrs_));
+    ProxyOptions ua_options;
+    ua_proxy_ = std::make_unique<ProxyServer>(
+        ua_options, *ua_enclave_,
+        std::make_shared<net::InProcChannel>(*ia_proxy_));
+    entry_ = std::make_shared<net::InProcChannel>(*ua_proxy_);
+  }
+
+  void provision(enclave::Enclave& enclave, const TenantKeyring& keyring) {
+    const auto blob = crypto::hybrid_encrypt(enclave.channel_public_key(),
+                                             keyring.serialize(), rng_);
+    ASSERT_TRUE(enclave.provision(blob.value()).ok());
+  }
+
+  ClientLibrary client_for(const std::string& tenant) {
+    const ApplicationKeys& keys =
+        tenant == "shop" ? shop_keys_ : forum_keys_;
+    return ClientLibrary(keys.client_params(), entry_, &rng_, tenant);
+  }
+
+  crypto::Drbg rng_;
+  ApplicationKeys shop_keys_;
+  ApplicationKeys forum_keys_;
+  lrs::HarnessServer lrs_;
+  std::unique_ptr<enclave::Enclave> ua_enclave_;
+  std::unique_ptr<enclave::Enclave> ia_enclave_;
+  std::unique_ptr<ProxyServer> ia_proxy_;
+  std::unique_ptr<ProxyServer> ua_proxy_;
+  std::shared_ptr<net::HttpChannel> entry_;
+};
+
+TEST_F(TenancyTest, BothTenantsServedBySharedProxies) {
+  EXPECT_EQ(ua_proxy_->tenant_count(), 2u);
+  ClientLibrary shop = client_for("shop");
+  ClientLibrary forum = client_for("forum");
+
+  ASSERT_TRUE(shop.post_sync("s-user", "gadget").ok());
+  ASSERT_TRUE(forum.post_sync("f-user", "thread-42").ok());
+  EXPECT_EQ(lrs_.event_count(), 2u);
+  EXPECT_EQ(ua_proxy_->requests_seen(), 2u);  // same instances
+}
+
+TEST_F(TenancyTest, TenantsGetTheirOwnRecommendations) {
+  ClientLibrary shop = client_for("shop");
+  ClientLibrary forum = client_for("forum");
+  for (const auto& [u, i] : std::vector<std::pair<std::string, std::string>>{
+           {"s1", "gadget"}, {"s1", "widget"}, {"s2", "gadget"},
+           {"s2", "widget"}, {"s3", "gizmo"}, {"probe", "gadget"}}) {
+    ASSERT_TRUE(shop.post_sync(u, i).ok());
+  }
+  for (const auto& [u, i] : std::vector<std::pair<std::string, std::string>>{
+           {"f1", "thread-a"}, {"f1", "thread-b"}, {"f2", "thread-a"},
+           {"f2", "thread-b"}, {"f3", "thread-c"}, {"probe", "thread-a"}}) {
+    ASSERT_TRUE(forum.post_sync(u, i).ok());
+  }
+  lrs_.train();
+  // Each tenant's "probe" is a DIFFERENT pseudonymous user; each sees only
+  // its own catalogue.
+  const auto shop_recs = shop.get_sync("probe");
+  ASSERT_TRUE(shop_recs.ok());
+  ASSERT_FALSE(shop_recs.value().empty());
+  EXPECT_EQ(shop_recs.value()[0], "widget");
+  const auto forum_recs = forum.get_sync("probe");
+  ASSERT_TRUE(forum_recs.ok());
+  ASSERT_FALSE(forum_recs.value().empty());
+  EXPECT_EQ(forum_recs.value()[0], "thread-b");
+}
+
+TEST_F(TenancyTest, WrongTenantHeaderCannotDecrypt) {
+  // A request encrypted under shop's keys but labelled as forum must be
+  // rejected: forum's skUA cannot decrypt shop's ciphertext.
+  ClientLibrary shop = client_for("shop");
+  auto request = shop.build_post_request("s-user", "gadget");
+  request.value().set_header(kTenantHeader, "forum");
+  std::promise<http::HttpResponse> promise;
+  auto future = promise.get_future();
+  entry_->send(std::move(request.value()), [&promise](http::HttpResponse r) {
+    promise.set_value(std::move(r));
+  });
+  EXPECT_EQ(future.get().status, 400);
+}
+
+TEST_F(TenancyTest, UnknownTenantRejected) {
+  ClientLibrary rogue(shop_keys_.client_params(), entry_, &rng_, "mallory-app");
+  const Status s = rogue.post_sync("u", "i");
+  EXPECT_FALSE(s.ok());
+  EXPECT_GE(ua_proxy_->errors(), 1u);
+}
+
+TEST_F(TenancyTest, PseudonymSpacesAreDisjoint) {
+  ClientLibrary shop = client_for("shop");
+  ClientLibrary forum = client_for("forum");
+  // Same plaintext user id in both tenants.
+  ASSERT_TRUE(shop.post_sync("alice", "x").ok());
+  ASSERT_TRUE(forum.post_sync("alice", "x").ok());
+  const auto rows = lrs_.dump_events();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0].first, rows[1].first);   // different user pseudonyms
+  EXPECT_NE(rows[0].second, rows[1].second); // different item pseudonyms
+}
+
+TEST_F(TenancyTest, BreachLeaksAllTenantsOfOneLayerOnly) {
+  // The paper's stated multi-tenancy risk: one broken enclave exposes the
+  // secrets of several applications — but still only one layer each.
+  ua_enclave_->breach();
+  const auto blob = ua_enclave_->exfiltrate_secrets();
+  ASSERT_TRUE(blob.ok());
+  const auto keyring = TenantKeyring::deserialize(blob.value());
+  ASSERT_TRUE(keyring.ok());
+  EXPECT_EQ(keyring.value().tenants.size(), 2u);  // both tenants' UA secrets
+  EXPECT_EQ(keyring.value().tenants.at("shop").k, shop_keys_.ua.k);
+  // IA secrets remain out of reach.
+  EXPECT_FALSE(ia_enclave_->exfiltrate_secrets().ok());
+}
+
+}  // namespace
+}  // namespace pprox
