@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_json_http.dir/bench_json_http.cpp.o"
+  "CMakeFiles/bench_json_http.dir/bench_json_http.cpp.o.d"
+  "bench_json_http"
+  "bench_json_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_json_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

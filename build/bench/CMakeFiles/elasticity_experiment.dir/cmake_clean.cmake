@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity_experiment.dir/elasticity_experiment.cpp.o"
+  "CMakeFiles/elasticity_experiment.dir/elasticity_experiment.cpp.o.d"
+  "elasticity_experiment"
+  "elasticity_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_full_system.dir/fig10_full_system.cpp.o"
+  "CMakeFiles/fig10_full_system.dir/fig10_full_system.cpp.o.d"
+  "fig10_full_system"
+  "fig10_full_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_full_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

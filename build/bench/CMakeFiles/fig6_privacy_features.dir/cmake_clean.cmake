@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_privacy_features.dir/fig6_privacy_features.cpp.o"
+  "CMakeFiles/fig6_privacy_features.dir/fig6_privacy_features.cpp.o.d"
+  "fig6_privacy_features"
+  "fig6_privacy_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_privacy_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_shuffling.dir/fig7_shuffling.cpp.o"
+  "CMakeFiles/fig7_shuffling.dir/fig7_shuffling.cpp.o.d"
+  "fig7_shuffling"
+  "fig7_shuffling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_shuffling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_harness_baseline.dir/fig9_harness_baseline.cpp.o"
+  "CMakeFiles/fig9_harness_baseline.dir/fig9_harness_baseline.cpp.o.d"
+  "fig9_harness_baseline"
+  "fig9_harness_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_harness_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

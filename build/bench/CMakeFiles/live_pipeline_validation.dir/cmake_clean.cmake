@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_pipeline_validation.dir/live_pipeline_validation.cpp.o"
+  "CMakeFiles/live_pipeline_validation.dir/live_pipeline_validation.cpp.o.d"
+  "live_pipeline_validation"
+  "live_pipeline_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_pipeline_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_unlinkability.dir/sec62_unlinkability.cpp.o"
+  "CMakeFiles/sec62_unlinkability.dir/sec62_unlinkability.cpp.o.d"
+  "sec62_unlinkability"
+  "sec62_unlinkability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_unlinkability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

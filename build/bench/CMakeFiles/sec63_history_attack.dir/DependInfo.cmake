@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec63_history_attack.cpp" "bench/CMakeFiles/sec63_history_attack.dir/sec63_history_attack.cpp.o" "gcc" "bench/CMakeFiles/sec63_history_attack.dir/sec63_history_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/pprox_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/pprox/CMakeFiles/pprox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/pprox_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pprox_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrs/CMakeFiles/pprox_lrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/pprox_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/pprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pprox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_history_attack.dir/sec63_history_attack.cpp.o"
+  "CMakeFiles/sec63_history_attack.dir/sec63_history_attack.cpp.o.d"
+  "sec63_history_attack"
+  "sec63_history_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_history_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

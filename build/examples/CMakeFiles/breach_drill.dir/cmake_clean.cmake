@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breach_drill.dir/breach_drill.cpp.o"
+  "CMakeFiles/breach_drill.dir/breach_drill.cpp.o.d"
+  "breach_drill"
+  "breach_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breach_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

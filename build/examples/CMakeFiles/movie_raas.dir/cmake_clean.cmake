@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_raas.dir/movie_raas.cpp.o"
+  "CMakeFiles/movie_raas.dir/movie_raas.cpp.o.d"
+  "movie_raas"
+  "movie_raas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_raas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_raas.dir/multi_tenant_raas.cpp.o"
+  "CMakeFiles/multi_tenant_raas.dir/multi_tenant_raas.cpp.o.d"
+  "multi_tenant_raas"
+  "multi_tenant_raas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_raas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("json")
+subdirs("http")
+subdirs("concurrent")
+subdirs("net")
+subdirs("enclave")
+subdirs("sim")
+subdirs("lrs")
+subdirs("pprox")
+subdirs("attack")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_attack.dir/adversary.cpp.o"
+  "CMakeFiles/pprox_attack.dir/adversary.cpp.o.d"
+  "CMakeFiles/pprox_attack.dir/correlation.cpp.o"
+  "CMakeFiles/pprox_attack.dir/correlation.cpp.o.d"
+  "libpprox_attack.a"
+  "libpprox_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

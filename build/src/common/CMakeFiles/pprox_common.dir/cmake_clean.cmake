@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_common.dir/encoding.cpp.o"
+  "CMakeFiles/pprox_common.dir/encoding.cpp.o.d"
+  "CMakeFiles/pprox_common.dir/logging.cpp.o"
+  "CMakeFiles/pprox_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pprox_common.dir/stats.cpp.o"
+  "CMakeFiles/pprox_common.dir/stats.cpp.o.d"
+  "libpprox_common.a"
+  "libpprox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/ctr.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/ctr.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/ctr.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/gcm.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/gcm.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/gcm.cpp.o.d"
+  "/root/repo/src/crypto/hybrid.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/hybrid.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/hybrid.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/pprox_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/pprox_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_crypto.dir/aes.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/ctr.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/ctr.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/hybrid.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/hybrid.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/prime.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/pprox_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/pprox_crypto.dir/sha256.cpp.o.d"
+  "libpprox_crypto.a"
+  "libpprox_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

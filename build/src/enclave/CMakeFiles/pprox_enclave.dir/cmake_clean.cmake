@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_enclave.dir/attestation.cpp.o"
+  "CMakeFiles/pprox_enclave.dir/attestation.cpp.o.d"
+  "CMakeFiles/pprox_enclave.dir/enclave.cpp.o"
+  "CMakeFiles/pprox_enclave.dir/enclave.cpp.o.d"
+  "libpprox_enclave.a"
+  "libpprox_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_http.dir/http.cpp.o"
+  "CMakeFiles/pprox_http.dir/http.cpp.o.d"
+  "libpprox_http.a"
+  "libpprox_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpprox_http.a"
+)

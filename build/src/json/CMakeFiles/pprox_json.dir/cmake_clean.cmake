@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_json.dir/json.cpp.o"
+  "CMakeFiles/pprox_json.dir/json.cpp.o.d"
+  "libpprox_json.a"
+  "libpprox_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lrs/cco.cpp" "src/lrs/CMakeFiles/pprox_lrs.dir/cco.cpp.o" "gcc" "src/lrs/CMakeFiles/pprox_lrs.dir/cco.cpp.o.d"
+  "/root/repo/src/lrs/docstore.cpp" "src/lrs/CMakeFiles/pprox_lrs.dir/docstore.cpp.o" "gcc" "src/lrs/CMakeFiles/pprox_lrs.dir/docstore.cpp.o.d"
+  "/root/repo/src/lrs/harness.cpp" "src/lrs/CMakeFiles/pprox_lrs.dir/harness.cpp.o" "gcc" "src/lrs/CMakeFiles/pprox_lrs.dir/harness.cpp.o.d"
+  "/root/repo/src/lrs/scheduler.cpp" "src/lrs/CMakeFiles/pprox_lrs.dir/scheduler.cpp.o" "gcc" "src/lrs/CMakeFiles/pprox_lrs.dir/scheduler.cpp.o.d"
+  "/root/repo/src/lrs/search_index.cpp" "src/lrs/CMakeFiles/pprox_lrs.dir/search_index.cpp.o" "gcc" "src/lrs/CMakeFiles/pprox_lrs.dir/search_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/pprox_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/pprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_lrs.dir/cco.cpp.o"
+  "CMakeFiles/pprox_lrs.dir/cco.cpp.o.d"
+  "CMakeFiles/pprox_lrs.dir/docstore.cpp.o"
+  "CMakeFiles/pprox_lrs.dir/docstore.cpp.o.d"
+  "CMakeFiles/pprox_lrs.dir/harness.cpp.o"
+  "CMakeFiles/pprox_lrs.dir/harness.cpp.o.d"
+  "CMakeFiles/pprox_lrs.dir/scheduler.cpp.o"
+  "CMakeFiles/pprox_lrs.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pprox_lrs.dir/search_index.cpp.o"
+  "CMakeFiles/pprox_lrs.dir/search_index.cpp.o.d"
+  "libpprox_lrs.a"
+  "libpprox_lrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_lrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_net.dir/socket.cpp.o"
+  "CMakeFiles/pprox_net.dir/socket.cpp.o.d"
+  "CMakeFiles/pprox_net.dir/tcp.cpp.o"
+  "CMakeFiles/pprox_net.dir/tcp.cpp.o.d"
+  "libpprox_net.a"
+  "libpprox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

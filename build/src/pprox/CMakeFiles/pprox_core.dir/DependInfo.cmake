@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pprox/client.cpp" "src/pprox/CMakeFiles/pprox_core.dir/client.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/client.cpp.o.d"
+  "/root/repo/src/pprox/deployment.cpp" "src/pprox/CMakeFiles/pprox_core.dir/deployment.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/pprox/keys.cpp" "src/pprox/CMakeFiles/pprox_core.dir/keys.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/keys.cpp.o.d"
+  "/root/repo/src/pprox/logic.cpp" "src/pprox/CMakeFiles/pprox_core.dir/logic.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/logic.cpp.o.d"
+  "/root/repo/src/pprox/message.cpp" "src/pprox/CMakeFiles/pprox_core.dir/message.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/message.cpp.o.d"
+  "/root/repo/src/pprox/proxy.cpp" "src/pprox/CMakeFiles/pprox_core.dir/proxy.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/pprox/rotation.cpp" "src/pprox/CMakeFiles/pprox_core.dir/rotation.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/rotation.cpp.o.d"
+  "/root/repo/src/pprox/shuffle.cpp" "src/pprox/CMakeFiles/pprox_core.dir/shuffle.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/shuffle.cpp.o.d"
+  "/root/repo/src/pprox/tenancy.cpp" "src/pprox/CMakeFiles/pprox_core.dir/tenancy.cpp.o" "gcc" "src/pprox/CMakeFiles/pprox_core.dir/tenancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/pprox_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/pprox_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/pprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/pprox_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrs/CMakeFiles/pprox_lrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_core.dir/client.cpp.o"
+  "CMakeFiles/pprox_core.dir/client.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/deployment.cpp.o"
+  "CMakeFiles/pprox_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/keys.cpp.o"
+  "CMakeFiles/pprox_core.dir/keys.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/logic.cpp.o"
+  "CMakeFiles/pprox_core.dir/logic.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/message.cpp.o"
+  "CMakeFiles/pprox_core.dir/message.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/proxy.cpp.o"
+  "CMakeFiles/pprox_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/rotation.cpp.o"
+  "CMakeFiles/pprox_core.dir/rotation.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/shuffle.cpp.o"
+  "CMakeFiles/pprox_core.dir/shuffle.cpp.o.d"
+  "CMakeFiles/pprox_core.dir/tenancy.cpp.o"
+  "CMakeFiles/pprox_core.dir/tenancy.cpp.o.d"
+  "libpprox_core.a"
+  "libpprox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_sim.dir/cluster.cpp.o"
+  "CMakeFiles/pprox_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/pprox_sim.dir/des.cpp.o"
+  "CMakeFiles/pprox_sim.dir/des.cpp.o.d"
+  "libpprox_sim.a"
+  "libpprox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprox_workload.dir/injector.cpp.o"
+  "CMakeFiles/pprox_workload.dir/injector.cpp.o.d"
+  "CMakeFiles/pprox_workload.dir/movielens.cpp.o"
+  "CMakeFiles/pprox_workload.dir/movielens.cpp.o.d"
+  "libpprox_workload.a"
+  "libpprox_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprox_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cco.dir/test_cco.cpp.o"
+  "CMakeFiles/test_cco.dir/test_cco.cpp.o.d"
+  "test_cco"
+  "test_cco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enclave.dir/test_enclave.cpp.o"
+  "CMakeFiles/test_enclave.dir/test_enclave.cpp.o.d"
+  "test_enclave"
+  "test_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcm.dir/test_gcm.cpp.o"
+  "CMakeFiles/test_gcm.dir/test_gcm.cpp.o.d"
+  "test_gcm"
+  "test_gcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keys.dir/test_keys.cpp.o"
+  "CMakeFiles/test_keys.dir/test_keys.cpp.o.d"
+  "test_keys"
+  "test_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

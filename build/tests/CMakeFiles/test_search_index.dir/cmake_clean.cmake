@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_index.dir/test_search_index.cpp.o"
+  "CMakeFiles/test_search_index.dir/test_search_index.cpp.o.d"
+  "test_search_index"
+  "test_search_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tenancy.dir/test_tenancy.cpp.o"
+  "CMakeFiles/test_tenancy.dir/test_tenancy.cpp.o.d"
+  "test_tenancy"
+  "test_tenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
