@@ -30,14 +30,8 @@ inline std::string to_string(ByteView b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
-/// Constant-time equality, for comparing secrets without leaking a
-/// length-of-matching-prefix timing signal.
-inline bool ct_equal(ByteView a, ByteView b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
-  return acc == 0;
-}
+// Constant-time secret comparison lives in crypto/ct.hpp
+// (pprox::crypto::ct_equal); tools/pprox_lint.cpp enforces its use.
 
 /// Appends `src` to `dst`.
 inline void append(Bytes& dst, ByteView src) {

@@ -1,0 +1,52 @@
+// Clang thread-safety analysis annotations (-Wthread-safety). On Clang these
+// expand to the capability attributes so the compiler statically checks that
+// every access to a PPROX_GUARDED_BY(member) happens with its mutex held; on
+// GCC and other compilers they expand to nothing. See the "Verification &
+// Static Analysis" section of DESIGN.md.
+//
+// Usage:
+//   mutable std::mutex mutex_;
+//   std::vector<Item> buffer_ PPROX_GUARDED_BY(mutex_);
+//   void flush_locked() PPROX_REQUIRES(mutex_);
+//   void flush() PPROX_EXCLUDES(mutex_);
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PPROX_HAS_THREAD_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define PPROX_HAS_THREAD_ATTRIBUTE(x) 0
+#endif
+
+#if PPROX_HAS_THREAD_ATTRIBUTE(guarded_by)
+#define PPROX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PPROX_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Member is only read/written with the named mutex held.
+#define PPROX_GUARDED_BY(x) PPROX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee (not the pointer itself) is protected by the named mutex.
+#define PPROX_PT_GUARDED_BY(x) PPROX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function must be called with the listed mutexes held.
+#define PPROX_REQUIRES(...) \
+  PPROX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the listed mutexes NOT held (it acquires
+/// them itself; calling with them held would deadlock or double-lock).
+#define PPROX_EXCLUDES(...) \
+  PPROX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed mutexes and returns with them held.
+#define PPROX_ACQUIRE(...) \
+  PPROX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed mutexes.
+#define PPROX_RELEASE(...) \
+  PPROX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (e.g. lock juggling
+/// across condition-variable waits). Use sparingly and justify inline.
+#define PPROX_NO_THREAD_SAFETY_ANALYSIS \
+  PPROX_THREAD_ANNOTATION(no_thread_safety_analysis)

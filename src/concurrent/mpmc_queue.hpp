@@ -36,30 +36,11 @@ class MpmcQueue {
 
   std::size_t capacity() const { return mask_ + 1; }
 
-  /// Attempts to enqueue; false when the queue is full.
-  bool try_push(T value) {
-    Cell* cell;
-    std::size_t pos = tail_.load(std::memory_order_relaxed);
-    for (;;) {
-      cell = &cells_[pos & mask_];
-      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
-      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
-                                 static_cast<std::intptr_t>(pos);
-      if (diff == 0) {
-        if (tail_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
-          break;
-        }
-      } else if (diff < 0) {
-        return false;  // full
-      } else {
-        pos = tail_.load(std::memory_order_relaxed);
-      }
-    }
-    cell->value = std::move(value);
-    cell->sequence.store(pos + 1, std::memory_order_release);
-    return true;
-  }
+  /// Attempts to enqueue; false when the queue is full. On failure the
+  /// argument is left untouched (not moved-from), so callers can retry with
+  /// the same object.
+  bool try_push(T&& value) { return push_impl(std::move(value)); }
+  bool try_push(const T& value) { return push_impl(value); }
 
   /// Attempts to dequeue; nullopt when the queue is empty.
   std::optional<T> try_pop() {
@@ -95,6 +76,31 @@ class MpmcQueue {
   }
 
  private:
+  template <typename U>
+  bool push_impl(U&& value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full; `value` not consumed
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::forward<U>(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
   // T must be default-constructible and move-assignable; slots hold live
   // (possibly empty) objects, which sidesteps placement-new lifetime rules.
   struct alignas(64) Cell {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "concurrent/mpmc_queue.hpp"
 
 namespace pprox::concurrent {
@@ -35,11 +36,19 @@ class ThreadPool {
   /// Returns false after shutdown() (task is dropped).
   bool submit(std::function<void()> task) {
     while (!stopping_.load(std::memory_order_acquire)) {
+      // Count the task BEFORE publishing it: a worker may pop and finish it
+      // the instant try_push succeeds, and its fetch_sub must never observe
+      // a counter the task is missing from (transient underflow would let
+      // drain() return while work is still in flight).
+      pending_.fetch_add(1, std::memory_order_acq_rel);
       if (queue_.try_push(std::move(task))) {
-        pending_.fetch_add(1, std::memory_order_acq_rel);
         std::lock_guard<std::mutex> lock(mutex_);
         cv_.notify_one();
         return true;
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drained_cv_.notify_all();
       }
       std::this_thread::yield();
     }
@@ -90,11 +99,11 @@ class ThreadPool {
     }
   }
 
-  MpmcQueue<std::function<void()>> queue_;
+  MpmcQueue<std::function<void()>> queue_;  // lock-free, internally ordered
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> pending_{0};
-  std::mutex mutex_;
+  std::mutex mutex_;  // guards only the cv sleep/wake protocol
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
 };

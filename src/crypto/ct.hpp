@@ -1,0 +1,51 @@
+// Constant-time primitives for secret comparison and validation. Anything
+// that inspects a key, MAC/GCM tag, pseudonym block, or OAEP padding must go
+// through these helpers: a data-dependent early exit leaks a matching-prefix
+// timing signal, which is exactly the class of side channel the PProx threat
+// model (paper §3) assumes the proxy code does not add on top of SGX.
+// tools/pprox_lint.cpp enforces call sites (its `memcmp` rule).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace pprox::crypto {
+
+/// Constant-time equality over equal-length buffers. Lengths are public
+/// (message framing is fixed-size by design), so a length mismatch may
+/// return early; the content comparison never does.
+inline bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  // The volatile accumulator stops the compiler from strength-reducing the
+  // loop into an early-exit form.
+  volatile std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = acc | static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+/// Constant-time "is every byte zero" — padding checks on decrypted
+/// pseudonym blocks must not reveal where the first garbage byte sits.
+inline bool ct_is_zero(ByteView a) {
+  volatile std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = acc | a[i];
+  return acc == 0;
+}
+
+/// Branch-free select: returns `when_true` if choice is 1, `when_false` if
+/// choice is 0. `choice` must be exactly 0 or 1.
+inline std::uint8_t ct_select_u8(std::uint8_t choice, std::uint8_t when_true,
+                                 std::uint8_t when_false) {
+  const std::uint8_t mask = static_cast<std::uint8_t>(-choice);
+  return static_cast<std::uint8_t>((when_true & mask) | (when_false & ~mask));
+}
+
+/// Expands the low bit of `bit` (0 or 1) into a full byte mask 0x00/0xFF
+/// without branching — building block for constant-time table folds.
+inline std::uint8_t ct_mask_u8(std::uint8_t bit) {
+  return static_cast<std::uint8_t>(-(bit & 1));
+}
+
+}  // namespace pprox::crypto

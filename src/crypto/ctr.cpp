@@ -28,6 +28,7 @@ Bytes ctr_crypt(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
     for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
     increment_counter(counter);
   }
+  secure_wipe(MutByteView(keystream, 16));
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/bytes.hpp"
 #include "common/rand.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pprox::crypto {
 
@@ -27,22 +28,22 @@ class Drbg final : public RandomSource {
   /// Deterministic seeding for reproducible tests and simulations.
   explicit Drbg(ByteView seed);
 
-  void fill(MutByteView out) override;
+  void fill(MutByteView out) override PPROX_EXCLUDES(mutex_);
 
   /// Mixes extra entropy into the state.
-  void reseed(ByteView seed);
+  void reseed(ByteView seed) PPROX_EXCLUDES(mutex_);
 
  private:
-  void refill_locked();
-  void rekey_locked();
+  void refill_locked() PPROX_REQUIRES(mutex_);
+  void rekey_locked() PPROX_REQUIRES(mutex_);
 
   std::mutex mutex_;
-  std::array<std::uint32_t, 8> key_{};
-  std::array<std::uint32_t, 3> nonce_{};
-  std::uint32_t counter_ = 0;
-  std::array<std::uint8_t, 64> block_{};
-  std::size_t block_pos_ = 64;  // empty
-  std::uint64_t bytes_since_rekey_ = 0;
+  std::array<std::uint32_t, 8> key_ PPROX_GUARDED_BY(mutex_){};
+  std::array<std::uint32_t, 3> nonce_ PPROX_GUARDED_BY(mutex_){};
+  std::uint32_t counter_ PPROX_GUARDED_BY(mutex_) = 0;
+  std::array<std::uint8_t, 64> block_ PPROX_GUARDED_BY(mutex_){};
+  std::size_t block_pos_ PPROX_GUARDED_BY(mutex_) = 64;  // empty
+  std::uint64_t bytes_since_rekey_ PPROX_GUARDED_BY(mutex_) = 0;
 };
 
 /// Process-wide DRBG for key and IV generation.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/ct.hpp"
+
 namespace pprox::crypto {
 namespace {
 
@@ -22,24 +24,26 @@ void put_u64_be(std::uint8_t* out, std::uint64_t v) {
 void gf128_mul(std::uint8_t x[16], const std::uint8_t y[16]) {
   // Bitwise multiply in GF(2^128) with the GCM polynomial
   // x^128 + x^7 + x^2 + x + 1; "rightmost" bit convention per SP 800-38D.
+  // Branch-free: both operands derive from the hash key H, so neither the
+  // conditional XOR nor the reduction may branch on their bits.
   std::uint8_t z[16] = {};
   std::uint8_t v[16];
   std::memcpy(v, y, 16);
   for (int i = 0; i < 128; ++i) {
     const int byte = i / 8;
     const int bit = 7 - (i % 8);
-    if ((x[byte] >> bit) & 1) {
-      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
-    }
+    const std::uint8_t xbit_mask = ct_mask_u8((x[byte] >> bit) & 1);
+    for (int j = 0; j < 16; ++j) z[j] ^= v[j] & xbit_mask;
     // v = v >> 1 (in the bit-reflected representation), with reduction.
-    const bool lsb = v[15] & 1;
+    const std::uint8_t lsb_mask = ct_mask_u8(v[15] & 1);
     for (int j = 15; j > 0; --j) {
       v[j] = static_cast<std::uint8_t>((v[j] >> 1) | ((v[j - 1] & 1) << 7));
     }
     v[0] >>= 1;
-    if (lsb) v[0] ^= 0xE1;  // reduction by the GCM polynomial
+    v[0] ^= 0xE1 & lsb_mask;  // reduction by the GCM polynomial
   }
   std::memcpy(x, z, 16);
+  secure_wipe(MutByteView(v, 16));
 }
 
 AesGcm::AesGcm(ByteView key) : aes_(key) {
@@ -81,6 +85,7 @@ void AesGcm::ctr32_crypt(const Block& j0, ByteView in, Bytes& out) const {
       out.push_back(in[offset + i] ^ keystream[i]);
     }
   }
+  secure_wipe(MutByteView(keystream, 16));
 }
 
 Bytes AesGcm::seal(const std::array<std::uint8_t, kNonceSize>& nonce,

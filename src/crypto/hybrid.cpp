@@ -6,12 +6,16 @@ namespace pprox::crypto {
 
 Result<Bytes> hybrid_encrypt(const RsaPublicKey& key, ByteView plaintext,
                              RandomSource& rng) {
-  const Bytes session_key = rng.bytes(32);
+  Bytes session_key = rng.bytes(32);
   auto wrapped = rsa_encrypt_oaep(key, session_key, rng);
-  if (!wrapped.ok()) return wrapped.error();
+  if (!wrapped.ok()) {
+    secure_wipe(session_key);
+    return wrapped.error();
+  }
 
   const RandomIvCipher body_cipher(session_key);
   const Bytes body = body_cipher.encrypt(plaintext, rng);
+  secure_wipe(session_key);  // the cipher holds its own key schedule now
 
   Bytes out;
   out.reserve(2 + wrapped.value().size() + body.size());
@@ -32,9 +36,11 @@ Result<Bytes> hybrid_decrypt(const RsaPrivateKey& key, ByteView blob) {
   auto session_key = rsa_decrypt_oaep(key, blob.subspan(2, wrapped_len));
   if (!session_key.ok()) return session_key.error();
   if (session_key.value().size() != 32) {
+    secure_wipe(session_key.value());
     return Error::crypto("hybrid: bad session key length");
   }
   const RandomIvCipher body_cipher(session_key.value());
+  secure_wipe(session_key.value());
   return body_cipher.decrypt(blob.subspan(2 + wrapped_len));
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/ct.hpp"
 #include "crypto/prime.hpp"
 #include "crypto/sha256.hpp"
 
@@ -93,7 +94,9 @@ Result<Bytes> rsa_encrypt_pkcs1(const RsaPublicKey& key, ByteView plaintext,
     em[2 + i] = b;
   }
   em[2 + ps_len] = 0x00;
-  std::memcpy(em.data() + 3 + ps_len, plaintext.data(), plaintext.size());
+  if (!plaintext.empty()) {
+    std::memcpy(em.data() + 3 + ps_len, plaintext.data(), plaintext.size());
+  }
 
   const BigInt m = BigInt::from_bytes_be(em);
   return rsa_public_op(key, m).to_bytes_be(k);
@@ -150,8 +153,10 @@ Result<Bytes> rsa_encrypt_oaep(const RsaPublicKey& key, ByteView plaintext,
   const auto l_hash = Sha256::digest(ByteView());
   std::memcpy(db.data(), l_hash.data(), h);
   db[db.size() - plaintext.size() - 1] = 0x01;
-  std::memcpy(db.data() + db.size() - plaintext.size(), plaintext.data(),
-              plaintext.size());
+  if (!plaintext.empty()) {  // empty span has a null data() — UB for memcpy
+    std::memcpy(db.data() + db.size() - plaintext.size(), plaintext.data(),
+                plaintext.size());
+  }
 
   Bytes seed(h);
   rng.fill(seed);

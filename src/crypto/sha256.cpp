@@ -73,6 +73,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(ByteView data) {
+  if (data.empty()) return;  // empty span has a null data() — UB for memcpy
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -137,7 +138,7 @@ Bytes hmac_sha256(ByteView key, ByteView message) {
   if (key.size() > kBlock) {
     const auto d = Sha256::digest(key);
     std::memcpy(k.data(), d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(k.data(), key.data(), key.size());
   }
   Bytes ipad(kBlock), opad(kBlock);

@@ -1,5 +1,6 @@
 #include "enclave/enclave.hpp"
 
+#include "crypto/ct.hpp"
 #include "crypto/ctr.hpp"
 #include "crypto/hybrid.hpp"
 #include "crypto/sha256.hpp"
@@ -50,7 +51,7 @@ Result<Bytes> Enclave::unseal(ByteView sealed) const {
       crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
   const ByteView body = sealed.first(sealed.size() - 32);
   const ByteView mac = sealed.last(32);
-  if (!ct_equal(crypto::hmac_sha256(key, body), mac)) {
+  if (!crypto::ct_equal(crypto::hmac_sha256(key, body), mac)) {
     return Error::crypto("unseal: MAC mismatch");
   }
   const crypto::RandomIvCipher cipher(key);

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
 #include "lrs/harness.hpp"
 
 namespace pprox::lrs {
@@ -33,28 +34,28 @@ class TrainingScheduler {
   TrainingScheduler& operator=(const TrainingScheduler&) = delete;
 
   /// Requests an immediate rebuild (returns once it is scheduled, not done).
-  void trigger();
+  void trigger() PPROX_EXCLUDES(mutex_);
 
   /// Blocks until at least one training run has completed since the call.
-  void wait_for_next_run();
+  void wait_for_next_run() PPROX_EXCLUDES(mutex_);
 
   std::uint64_t runs_completed() const { return runs_.load(); }
 
-  void stop();
+  void stop() PPROX_EXCLUDES(mutex_);
 
  private:
-  void loop();
+  void loop() PPROX_EXCLUDES(mutex_);
 
   HarnessServer* server_;
   TrainingPolicy policy_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> runs_{0};
-  std::size_t events_at_last_run_ = 0;
+  std::size_t events_at_last_run_ PPROX_GUARDED_BY(mutex_) = 0;
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable run_done_cv_;
-  bool trigger_requested_ = false;
+  bool trigger_requested_ PPROX_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -7,8 +7,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "http/http.hpp"
 
 namespace pprox::net {
@@ -31,15 +33,36 @@ class RequestSink {
 };
 
 /// Zero-copy in-process channel: forwards directly into a sink.
+///
+/// Two ownership modes:
+///  - borrowed (`RequestSink&`): the caller guarantees the sink outlives the
+///    channel — the usual scoped-test wiring.
+///  - weak (`std::weak_ptr<RequestSink>`): the sink may be torn down while
+///    clients still hold the channel (key rotation discards proxies that
+///    stale ClientLibrary instances still point at). send() pins the sink
+///    for the duration of handle(), and answers 503 once it is gone,
+///    instead of dereferencing a destroyed proxy.
 class InProcChannel final : public HttpChannel {
  public:
   explicit InProcChannel(RequestSink& sink) : sink_(&sink) {}
+  explicit InProcChannel(std::weak_ptr<RequestSink> sink)
+      : weak_sink_(std::move(sink)) {}
+
   void send(http::HttpRequest request, RespondFn done) override {
-    sink_->handle(std::move(request), std::move(done));
+    if (sink_ != nullptr) {
+      sink_->handle(std::move(request), std::move(done));
+      return;
+    }
+    if (const auto pinned = weak_sink_.lock()) {
+      pinned->handle(std::move(request), std::move(done));
+      return;
+    }
+    done(http::HttpResponse::error_response(503, "backend gone"));
   }
 
  private:
-  RequestSink* sink_;
+  RequestSink* sink_ = nullptr;
+  std::weak_ptr<RequestSink> weak_sink_;
 };
 
 /// Round-robin load balancer over several backends — the kube-proxy
@@ -47,23 +70,37 @@ class InProcChannel final : public HttpChannel {
 class RoundRobinChannel final : public HttpChannel {
  public:
   explicit RoundRobinChannel(std::vector<std::shared_ptr<HttpChannel>> backends)
-      : backends_(std::move(backends)) {}
+      : backends_(std::move(backends)), sent_(backends_.size(), 0) {}
 
-  void send(http::HttpRequest request, RespondFn done) override {
+  void send(http::HttpRequest request, RespondFn done) override
+      PPROX_EXCLUDES(stats_mutex_) {
     if (backends_.empty()) {
       done(http::HttpResponse::error_response(503, "no backends"));
       return;
     }
     const std::size_t i =
         next_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++sent_[i];
+    }
     backends_[i]->send(std::move(request), std::move(done));
   }
 
   std::size_t backend_count() const { return backends_.size(); }
 
+  /// Requests dispatched to backend `i` so far (load-spread checks in tests
+  /// and the elasticity benches).
+  std::uint64_t sent_to(std::size_t i) const PPROX_EXCLUDES(stats_mutex_) {
+    std::lock_guard lock(stats_mutex_);
+    return i < sent_.size() ? sent_[i] : 0;
+  }
+
  private:
-  std::vector<std::shared_ptr<HttpChannel>> backends_;
+  std::vector<std::shared_ptr<HttpChannel>> backends_;  // fixed after ctor
   std::atomic<std::size_t> next_{0};
+  mutable std::mutex stats_mutex_;
+  std::vector<std::uint64_t> sent_ PPROX_GUARDED_BY(stats_mutex_);
 };
 
 /// Adapts a synchronous handler function into a RequestSink.

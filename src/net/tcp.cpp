@@ -28,8 +28,8 @@ TcpServer::TcpServer(std::uint16_t port, RequestSink& sink) : sink_(&sink) {
 
   epoll_fd_ = Fd(::epoll_create1(0));
   if (!epoll_fd_.valid()) throw std::runtime_error("epoll_create1 failed");
-  wake_fd_ = Fd(::eventfd(0, EFD_NONBLOCK));
-  if (!wake_fd_.valid()) throw std::runtime_error("eventfd failed");
+  completions_->wake_fd = Fd(::eventfd(0, EFD_NONBLOCK));
+  if (!completions_->wake_fd.valid()) throw std::runtime_error("eventfd failed");
 
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -38,7 +38,7 @@ TcpServer::TcpServer(std::uint16_t port, RequestSink& sink) : sink_(&sink) {
   epoll_event wev{};
   wev.events = EPOLLIN;
   wev.data.u64 = UINT64_MAX;  // wake fd marker
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &wev);
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, completions_->wake_fd.get(), &wev);
 
   thread_ = std::thread([this] { loop(); });
 }
@@ -52,7 +52,8 @@ void TcpServer::stop() {
     return;
   }
   const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  [[maybe_unused]] ssize_t n =
+      ::write(completions_->wake_fd.get(), &one, sizeof(one));
   if (thread_.joinable()) thread_.join();
 }
 
@@ -76,7 +77,8 @@ void TcpServer::loop() {
         accept_new();
       } else if (id == UINT64_MAX) {
         std::uint64_t count = 0;
-        [[maybe_unused]] ssize_t r = ::read(wake_fd_.get(), &count, sizeof(count));
+        [[maybe_unused]] ssize_t r =
+            ::read(completions_->wake_fd.get(), &count, sizeof(count));
         drain_completions();
       } else {
         if (events[i].events & (EPOLLHUP | EPOLLERR)) {
@@ -135,26 +137,33 @@ void TcpServer::on_readable(std::uint64_t conn_id) {
     const std::uint64_t slot = conn.next_slot++;
     conn.pending.emplace_back(std::nullopt);
     // Completion may fire on any thread (e.g. an enclave worker): route it
-    // through the completion queue and wake the epoll loop.
+    // through the completion queue and wake the epoll loop. Held weakly so
+    // a completion outliving the server is dropped, not a use-after-free.
     sink_->handle(std::move(*request),
-                  [this, conn_id, slot](http::HttpResponse response) {
-                    {
-                      std::lock_guard<std::mutex> lock(completions_mutex_);
-                      completions_.push_back({conn_id, slot, std::move(response)});
+                  [weak = std::weak_ptr<CompletionQueue>(completions_),
+                   conn_id, slot](http::HttpResponse response) {
+                    if (const auto queue = weak.lock()) {
+                      queue->post({conn_id, slot, std::move(response)});
                     }
-                    const std::uint64_t one = 1;
-                    [[maybe_unused]] ssize_t w =
-                        ::write(wake_fd_.get(), &one, sizeof(one));
                   });
   }
   if (conn.parser.broken()) close_connection(conn_id);
 }
 
+void TcpServer::CompletionQueue::post(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    items.push_back(std::move(completion));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t w = ::write(wake_fd.get(), &one, sizeof(one));
+}
+
 void TcpServer::drain_completions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
-    batch.swap(completions_);
+    std::lock_guard<std::mutex> lock(completions_->mutex);
+    batch.swap(completions_->items);
   }
   for (auto& completion : batch) {
     auto it = connections_.find(completion.conn_id);

@@ -62,7 +62,6 @@ class TcpServer {
 
   Fd listen_fd_;
   Fd epoll_fd_;
-  Fd wake_fd_;  // eventfd
   std::uint16_t port_ = 0;
   RequestSink* sink_;
   std::thread thread_;
@@ -78,8 +77,20 @@ class TcpServer {
     std::uint64_t slot;
     http::HttpResponse response;
   };
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
+  /// Completion routing state, shared with every in-flight RespondFn. The
+  /// callbacks hold it via weak_ptr: a completion firing after the server
+  /// is gone (a sink flushing parked requests during teardown, a slow
+  /// worker thread) finds the queue expired and drops the response instead
+  /// of writing into a destroyed server. The wake eventfd lives here so a
+  /// late post never touches a closed descriptor either.
+  struct CompletionQueue {
+    std::mutex mutex;
+    std::vector<Completion> items;
+    Fd wake_fd;  // eventfd
+    void post(Completion completion);
+  };
+  std::shared_ptr<CompletionQueue> completions_ =
+      std::make_shared<CompletionQueue>();
 };
 
 /// Client channel to 127.0.0.1:port backed by a small pool of worker

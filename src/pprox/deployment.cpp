@@ -40,8 +40,9 @@ void Deployment::build_layers(RandomSource& rng) {
     options.shuffle_timeout = config_.shuffle_timeout;
     options.worker_threads = config_.worker_threads;
     auto proxy =
-        std::make_unique<ProxyServer>(options, *enclave, lrs_channel_);
-    ia_channels.push_back(std::make_shared<net::InProcChannel>(*proxy));
+        std::make_shared<ProxyServer>(options, *enclave, lrs_channel_);
+    ia_channels.push_back(std::make_shared<net::InProcChannel>(
+        std::weak_ptr<net::RequestSink>(proxy)));
     ia_enclaves_.push_back(std::move(enclave));
     ia_proxies_.push_back(std::move(proxy));
   }
@@ -63,8 +64,9 @@ void Deployment::build_layers(RandomSource& rng) {
     options.shuffle_timeout = config_.shuffle_timeout;
     options.worker_threads = config_.worker_threads;
     auto proxy =
-        std::make_unique<ProxyServer>(options, *enclave, ia_balancer_);
-    ua_channels.push_back(std::make_shared<net::InProcChannel>(*proxy));
+        std::make_shared<ProxyServer>(options, *enclave, ia_balancer_);
+    ua_channels.push_back(std::make_shared<net::InProcChannel>(
+        std::weak_ptr<net::RequestSink>(proxy)));
     ua_enclaves_.push_back(std::move(enclave));
     ua_proxies_.push_back(std::move(proxy));
   }
@@ -78,8 +80,9 @@ Status Deployment::rotate(lrs::HarnessServer& lrs, RandomSource& rng) {
   client_params_ = keys_.client_params();
 
   // Tear the old stack down (proxies before enclaves before balancers) and
-  // rebuild with fresh enclaves. In-flight requests on old channels drain
-  // against the old proxies before destruction completes.
+  // rebuild with fresh enclaves. Clients created before the rotation still
+  // hold the old entry channel; its weak references expire here, so their
+  // sends get 503 "backend gone" rather than reaching freed proxies.
   entry_.reset();
   ua_proxies_.clear();
   ia_balancer_.reset();

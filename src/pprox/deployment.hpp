@@ -78,9 +78,12 @@ class Deployment {
   std::vector<std::unique_ptr<enclave::Enclave>> ua_enclaves_;
   std::vector<std::unique_ptr<enclave::Enclave>> ia_enclaves_;
   std::shared_ptr<net::HttpChannel> lrs_channel_;
-  std::vector<std::unique_ptr<ProxyServer>> ia_proxies_;
+  // shared_ptr (not unique_ptr) so channels can hold weak references: after
+  // rotate() discards a proxy, a stale client's InProcChannel fails its
+  // weak_ptr lock and reports 503 instead of touching freed memory.
+  std::vector<std::shared_ptr<ProxyServer>> ia_proxies_;
   std::shared_ptr<net::HttpChannel> ia_balancer_;
-  std::vector<std::unique_ptr<ProxyServer>> ua_proxies_;
+  std::vector<std::shared_ptr<ProxyServer>> ua_proxies_;
   std::shared_ptr<net::HttpChannel> entry_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/ct.hpp"
 #include "json/json.hpp"
 
 namespace pprox {
@@ -25,6 +26,13 @@ Result<std::string> unpad_identifier(ByteView block) {
   const std::size_t len =
       (static_cast<std::size_t>(block[0]) << 8) | block[1];
   if (len > kMaxIdLength) return Error::parse("identifier length corrupt");
+  // Verify the zero padding in constant time: a decrypted pseudonym block is
+  // secret-derived, and rejecting it at the position of the first garbage
+  // byte would leak where the plaintext stops. This also rejects malleable
+  // blocks whose tail was tampered with.
+  if (!crypto::ct_is_zero(block.subspan(2 + len))) {
+    return Error::parse("identifier padding corrupt");
+  }
   return std::string(reinterpret_cast<const char*>(block.data()) + 2, len);
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "concurrent/thread_pool.hpp"
 #include "crypto/drbg.hpp"
 #include "enclave/enclave.hpp"
@@ -25,15 +26,15 @@ namespace pprox {
 /// for handling request responses"). Holds k_u for in-flight get calls.
 class PendingStore {
  public:
-  std::uint64_t put(Bytes k_u);
+  std::uint64_t put(Bytes k_u) PPROX_EXCLUDES(mutex_);
   /// Fetches and removes; empty result when the handle is unknown.
-  Result<Bytes> take(std::uint64_t handle);
-  std::size_t size() const;
+  Result<Bytes> take(std::uint64_t handle) PPROX_EXCLUDES(mutex_);
+  std::size_t size() const PPROX_EXCLUDES(mutex_);
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Bytes> pending_;
-  std::uint64_t next_ = 1;
+  std::unordered_map<std::uint64_t, Bytes> pending_ PPROX_GUARDED_BY(mutex_);
+  std::uint64_t next_ PPROX_GUARDED_BY(mutex_) = 1;
 };
 
 struct ProxyOptions {

@@ -11,7 +11,9 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "lrs/harness.hpp"
 #include "pprox/keys.hpp"
 
@@ -31,13 +33,15 @@ class BreachMonitor {
         window_(window) {}
 
   /// Feeds one observed ecall latency for the enclave identified by `id`.
-  void record(const std::string& id, double ecall_latency_ms);
+  /// Thread-safe: proxy workers report latencies concurrently.
+  void record(const std::string& id, double ecall_latency_ms)
+      PPROX_EXCLUDES(mutex_);
 
   /// True when the recent window is degraded vs the established baseline.
-  bool attack_suspected(const std::string& id) const;
+  bool attack_suspected(const std::string& id) const PPROX_EXCLUDES(mutex_);
 
   /// Baseline mean (0 until established). Exposed for tests.
-  double baseline_ms(const std::string& id) const;
+  double baseline_ms(const std::string& id) const PPROX_EXCLUDES(mutex_);
 
  private:
   struct Track {
@@ -48,7 +52,8 @@ class BreachMonitor {
   double factor_;
   std::size_t baseline_samples_;
   std::size_t window_;
-  std::map<std::string, Track> tracks_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Track> tracks_ PPROX_GUARDED_BY(mutex_);
 };
 
 /// Outcome of a key-rotation pass.

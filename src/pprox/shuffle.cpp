@@ -57,10 +57,7 @@ std::size_t ShuffleQueue::buffered() const {
 
 void ShuffleQueue::run_batch(std::vector<std::function<void()>> batch) {
   shuffle(batch, rng_);
-  {
-    std::lock_guard lock(mutex_);
-    ++flushes_;
-  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
   for (auto& action : batch) action();
 }
 

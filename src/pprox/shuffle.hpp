@@ -4,6 +4,7 @@
 // inbound and outbound messages.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/rand.hpp"
+#include "common/thread_annotations.hpp"
 #include "crypto/drbg.hpp"
 
 namespace pprox {
@@ -28,29 +30,32 @@ class ShuffleQueue {
 
   /// Adds a release action. May synchronously flush (and run actions on the
   /// calling thread) when the buffer reaches S.
-  void add(std::function<void()> release);
+  void add(std::function<void()> release) PPROX_EXCLUDES(mutex_);
 
   /// Forces an immediate flush (used by tests and shutdown).
-  void flush_now();
+  void flush_now() PPROX_EXCLUDES(mutex_);
 
-  std::size_t buffered() const;
-  std::uint64_t flush_count() const { return flushes_; }
+  std::size_t buffered() const PPROX_EXCLUDES(mutex_);
+  std::uint64_t flush_count() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void timer_loop();
-  void run_batch(std::vector<std::function<void()>> batch);
+  void timer_loop() PPROX_EXCLUDES(mutex_);
+  void run_batch(std::vector<std::function<void()>> batch)
+      PPROX_EXCLUDES(mutex_);
 
   const int size_;
   const std::chrono::milliseconds timeout_;
-  crypto::Drbg rng_;
+  crypto::Drbg rng_;  // internally synchronized
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::function<void()>> buffer_;
-  std::chrono::steady_clock::time_point deadline_{};
-  bool deadline_armed_ = false;
-  bool stopping_ = false;
-  std::uint64_t flushes_ = 0;
+  std::vector<std::function<void()>> buffer_ PPROX_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point deadline_ PPROX_GUARDED_BY(mutex_){};
+  bool deadline_armed_ PPROX_GUARDED_BY(mutex_) = false;
+  bool stopping_ PPROX_GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> flushes_{0};  // read lock-free by flush_count()
   std::thread timer_;
 };
 

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "pprox/keys.hpp"
 
 namespace pprox {
@@ -33,6 +36,34 @@ struct TenantKeyring {
 
   /// True when `blob` starts with the keyring magic.
   static bool looks_like_keyring(ByteView blob);
+};
+
+/// Thread-safe registry of tenant secrets for the provider's control plane:
+/// tenants onboard and leave while proxies keep serving, so mutation and
+/// snapshot-for-provisioning race. All state is guarded by one mutex; reads
+/// hand out copies (a provisioning blob must not alias live registry state).
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  explicit TenantRegistry(TenantKeyring keyring);
+
+  /// Adds or replaces a tenant's layer secrets.
+  void upsert(const std::string& tenant_id, LayerSecrets secrets)
+      PPROX_EXCLUDES(mutex_);
+
+  /// Removes a tenant; false when unknown.
+  bool remove(const std::string& tenant_id) PPROX_EXCLUDES(mutex_);
+
+  bool contains(const std::string& tenant_id) const PPROX_EXCLUDES(mutex_);
+  std::size_t size() const PPROX_EXCLUDES(mutex_);
+  std::vector<std::string> tenant_ids() const PPROX_EXCLUDES(mutex_);
+
+  /// Consistent point-in-time copy for enclave provisioning.
+  TenantKeyring snapshot() const PPROX_EXCLUDES(mutex_);
+
+ private:
+  mutable std::mutex mutex_;
+  TenantKeyring keyring_ PPROX_GUARDED_BY(mutex_);
 };
 
 }  // namespace pprox

@@ -10,6 +10,7 @@
 #include "common/encoding.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
+#include "crypto/ct.hpp"
 
 namespace pprox {
 namespace {
@@ -31,9 +32,28 @@ TEST(Bytes, ConstantTimeEqual) {
   const Bytes b = to_bytes("secret");
   const Bytes c = to_bytes("secreT");
   const Bytes d = to_bytes("secre");
-  EXPECT_TRUE(ct_equal(a, b));
-  EXPECT_FALSE(ct_equal(a, c));
-  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(crypto::ct_equal(a, b));
+  EXPECT_FALSE(crypto::ct_equal(a, c));
+  EXPECT_FALSE(crypto::ct_equal(a, d));
+}
+
+TEST(Bytes, ConstantTimeIsZero) {
+  const Bytes zeros(16, 0);
+  Bytes tail = zeros;
+  tail.back() = 1;
+  Bytes head = zeros;
+  head.front() = 1;
+  EXPECT_TRUE(crypto::ct_is_zero(zeros));
+  EXPECT_TRUE(crypto::ct_is_zero(ByteView{}));
+  EXPECT_FALSE(crypto::ct_is_zero(tail));
+  EXPECT_FALSE(crypto::ct_is_zero(head));
+}
+
+TEST(Bytes, ConstantTimeSelectAndMask) {
+  EXPECT_EQ(crypto::ct_select_u8(1, 0xAA, 0x55), 0xAA);
+  EXPECT_EQ(crypto::ct_select_u8(0, 0xAA, 0x55), 0x55);
+  EXPECT_EQ(crypto::ct_mask_u8(1), 0xFF);
+  EXPECT_EQ(crypto::ct_mask_u8(0), 0x00);
 }
 
 TEST(Bytes, XorIntoIsInvolution) {

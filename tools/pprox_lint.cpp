@@ -1,0 +1,387 @@
+// pprox_lint — crypto-hygiene lint for the PProx sources.
+//
+// Scans C++ sources (by default src/crypto and src/pprox, the layers that
+// touch key material and pseudonyms) for patterns that break the paper's
+// unlinkability argument in a real deployment even though they are
+// functionally correct:
+//
+//   rand          rand()/srand()/random()/drand48()/rand_r() — non-crypto
+//                 PRNGs must never generate keys, IVs, or shuffle orders.
+//                 Use pprox::crypto::Drbg (or RandomSource for simulations).
+//   memcmp        memcmp()/std::memcmp on buffers — early-exit comparison
+//                 leaks a matching-prefix timing signal when the operands
+//                 are tags, MACs, keys, or pseudonyms. Use
+//                 pprox::crypto::ct_equal.
+//   secure-wipe   function-local key material (stack arrays or Bytes whose
+//                 name contains "key"/"secret") that is never passed to
+//                 secure_wipe() before the scope ends.
+//   secret-index  S-box style table lookups (identifiers matching
+//                 k*Sbox/k*SBox) indexed by a non-constant expression —
+//                 a classic cache side channel.
+//
+// False positives are suppressed inline, on the offending line:
+//     std::memcmp(a, b, n);  // pprox-lint: allow(memcmp): public inputs
+// The justification text after the second ':' is optional but encouraged.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. Diagnostics are
+// "file:line: [rule] message" so editors and CI can jump to them.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string path;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses "pprox-lint: allow(rule1, rule2)" suppressions out of a raw line.
+std::set<std::string> suppressions_on(const std::string& line) {
+  std::set<std::string> rules;
+  const std::string marker = "pprox-lint:";
+  std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) return rules;
+  pos = line.find("allow(", pos);
+  if (pos == std::string::npos) return rules;
+  pos += 6;
+  const std::size_t end = line.find(')', pos);
+  if (end == std::string::npos) return rules;
+  std::string inside = line.substr(pos, end - pos);
+  std::replace(inside.begin(), inside.end(), ',', ' ');
+  std::istringstream iss(inside);
+  std::string rule;
+  while (iss >> rule) rules.insert(rule);
+  return rules;
+}
+
+/// Strips comments and string/char literals from the file, preserving the
+/// line structure so findings keep accurate line numbers. Returns one entry
+/// per source line containing only code.
+std::vector<std::string> code_lines(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        code.push_back(quote);  // keep a stand-in so tokens don't merge
+        code.push_back(quote);
+        continue;
+      }
+      code.push_back(c);
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// True when `code` contains the identifier `name` as a whole word followed
+/// (after whitespace) by '('. Member calls (`.name(` / `->name(`) are
+/// ignored: they are methods of our own types, not libc.
+bool has_call(const std::string& code, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !is_ident(code[pos - 1]);
+    std::size_t after = pos + name.size();
+    while (after < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+      ++after;
+    }
+    const bool call = after < code.size() && code[after] == '(';
+    const bool member =
+        (pos >= 1 && code[pos - 1] == '.') ||
+        (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+    if (start_ok && call && !member) return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+/// Extracts the bracketed index expression after `table_end`, or empty.
+std::string index_expr(const std::string& code, std::size_t bracket) {
+  int depth = 0;
+  std::string expr;
+  for (std::size_t i = bracket; i < code.size(); ++i) {
+    if (code[i] == '[') {
+      ++depth;
+      if (depth == 1) continue;
+    }
+    if (code[i] == ']') {
+      --depth;
+      if (depth == 0) return expr;
+    }
+    if (depth >= 1) expr.push_back(code[i]);
+  }
+  return expr;
+}
+
+bool is_constant_index(const std::string& expr) {
+  return !expr.empty() &&
+         std::all_of(expr.begin(), expr.end(), [](char c) {
+           return std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                  std::isspace(static_cast<unsigned char>(c)) != 0 ||
+                  c == 'x' || c == 'X' || c == 'u' || c == 'U';
+         });
+}
+
+/// One function-local declaration of key material awaiting its wipe.
+struct KeyDecl {
+  std::string name;
+  std::size_t line;
+  int depth;  ///< brace depth the declaration lives at
+  bool wiped = false;
+};
+
+bool name_is_key_material(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return name.find("key") != std::string::npos ||
+         name.find("secret") != std::string::npos;
+}
+
+/// Finds `type name[` / `type name(;|=|{)` declarations of key-material
+/// locals. Very approximate by design: names must contain key/secret.
+std::vector<std::string> key_decl_names(const std::string& code) {
+  static const std::vector<std::string> kTypes = {
+      "std::uint8_t", "uint8_t", "unsigned char", "Bytes", "std::array"};
+  std::vector<std::string> names;
+  for (const std::string& type : kTypes) {
+    std::size_t pos = 0;
+    while ((pos = code.find(type, pos)) != std::string::npos) {
+      const bool start_ok = pos == 0 || !is_ident(code[pos - 1]);
+      std::size_t i = pos + type.size();
+      pos = i;
+      if (!start_ok) continue;
+      // Skip a template argument list (std::array<...,...>) if present.
+      if (i < code.size() && code[i] == '<') {
+        int depth = 0;
+        for (; i < code.size(); ++i) {
+          if (code[i] == '<') ++depth;
+          if (code[i] == '>' && --depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+        ++i;
+      }
+      std::string name;
+      while (i < code.size() && is_ident(code[i])) name.push_back(code[i++]);
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+        ++i;
+      }
+      if (name.empty() || i >= code.size()) continue;
+      const char next = code[i];
+      const bool is_decl =
+          next == '[' || next == ';' || next == '=' || next == '{' || next == '(';
+      if (is_decl && name_is_key_material(name)) names.push_back(name);
+    }
+  }
+  // "uint8_t" also matches inside "std::uint8_t" — drop duplicate names.
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "pprox_lint: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<std::string> raw;
+  std::string line;
+  while (std::getline(in, line)) raw.push_back(line);
+  const std::vector<std::string> code = code_lines(raw);
+
+  const bool is_source = path.extension() == ".cpp";
+  int depth = 0;
+  std::vector<KeyDecl> live_decls;
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::set<std::string> allowed = suppressions_on(raw[i]);
+    const auto report = [&](const std::string& rule, const std::string& msg) {
+      if (allowed.count(rule) != 0) return;
+      findings.push_back({path.string(), i + 1, rule, msg});
+    };
+
+    // Rule: rand --------------------------------------------------------
+    for (const char* fn : {"rand", "srand", "rand_r", "random", "drand48"}) {
+      if (has_call(code[i], fn)) {
+        report("rand", std::string(fn) +
+                           "() is not a CSPRNG; use pprox::crypto::Drbg / "
+                           "RandomSource for anything observable");
+      }
+    }
+
+    // Rule: memcmp ------------------------------------------------------
+    if (has_call(code[i], "memcmp")) {
+      report("memcmp",
+             "memcmp leaks a matching-prefix timing signal; compare tags/"
+             "keys/pseudonyms with pprox::crypto::ct_equal");
+    }
+
+    // Rule: secret-index ------------------------------------------------
+    std::size_t pos = 0;
+    while ((pos = code[i].find('[', pos)) != std::string::npos) {
+      // Walk back over the identifier preceding '['.
+      std::size_t end = pos;
+      while (end > 0 && std::isspace(static_cast<unsigned char>(
+                            code[i][end - 1])) != 0) {
+        --end;
+      }
+      std::size_t begin = end;
+      while (begin > 0 && is_ident(code[i][begin - 1])) --begin;
+      const std::string table = code[i].substr(begin, end - begin);
+      const bool sbox_like =
+          table.size() > 1 && table[0] == 'k' &&
+          (table.find("Sbox") != std::string::npos ||
+           table.find("SBox") != std::string::npos);
+      if (sbox_like) {
+        const std::string expr = index_expr(code[i], pos);
+        if (!is_constant_index(expr)) {
+          report("secret-index",
+                 table + "[" + expr +
+                     "]: data-dependent S-box lookup is a cache side "
+                     "channel; use a constant-time implementation or "
+                     "justify with an allow comment");
+        }
+      }
+      ++pos;
+    }
+
+    // Rule: secure-wipe (function locals in .cpp files only) ------------
+    if (is_source) {
+      for (const std::string& name : key_decl_names(code[i])) {
+        if (allowed.count("secure-wipe") != 0) continue;
+        live_decls.push_back({name, i + 1, depth + /*opens its scope*/ 0});
+      }
+      if (code[i].find("secure_wipe") != std::string::npos) {
+        for (KeyDecl& d : live_decls) {
+          if (code[i].find(d.name) != std::string::npos) d.wiped = true;
+        }
+      }
+      for (char c : code[i]) {
+        if (c == '{') ++depth;
+        if (c == '}') {
+          --depth;
+          for (auto it = live_decls.begin(); it != live_decls.end();) {
+            if (it->depth > depth && depth >= 0) {
+              if (!it->wiped && it->depth > 0) {
+                findings.push_back(
+                    {path.string(), it->line, "secure-wipe",
+                     "key material '" + it->name +
+                         "' leaves scope without secure_wipe(); stack "
+                         "copies of keys outlive the call otherwise"});
+              }
+              it = live_decls.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& files) {
+  if (fs::is_regular_file(root)) {
+    const auto ext = root.extension();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(root);
+    }
+    return;
+  }
+  if (!fs::is_directory(root)) {
+    std::cerr << "pprox_lint: no such file or directory: " << root << "\n";
+    std::exit(2);
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pprox_lint <dir-or-file>...\n"
+                   "rules: rand, memcmp, secure-wipe, secret-index\n"
+                   "suppress: // pprox-lint: allow(<rule>): <why>\n";
+      return 0;
+    }
+    collect(arg, files);
+  }
+  if (files.empty()) {
+    std::cerr << "pprox_lint: no input files (pass src/crypto src/pprox)\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) scan_file(f, findings);
+
+  for (const Finding& f : findings) {
+    std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << findings.size() << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "pprox_lint: " << files.size() << " file(s) clean\n";
+  return 0;
+}
