@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # One-command local reproduction of the full static/dynamic analysis gate:
 #
-#   1. crypto-hygiene lint (tools/pprox_lint) over src/crypto + src/pprox
-#   2. ASan + UBSan build, full ctest suite (leaks, overflows, UB)
-#   3. TSan build, concurrency-heavy tests (races in queue/pool/shuffler)
-#   4. clang-tidy (bugprone-*, concurrency-*, cert-msc50/51) when installed
+#   1. crypto-hygiene + information-flow lint (tools/pprox_lint --flow) over
+#      every layered directory, gated against tools/lint_baseline.json
+#   2. negative-compile suite (tests/compile_fail/): taint-domain violations
+#      must fail to compile
+#   3. ASan + UBSan build, full ctest suite (leaks, overflows, UB)
+#   4. TSan build, concurrency-heavy tests (races in queue/pool/shuffler)
+#   5. clang-tidy (bugprone-*, concurrency-*, cert-msc50/51) when installed
 #
 # Usage:
 #   scripts/check.sh           # full gate (several minutes)
-#   scripts/check.sh --quick   # lint + ASan smoke of test_concurrent/test_pipeline
+#   scripts/check.sh --quick   # lint + compile-fail + ASan smoke
 #
 # Build trees land in build-asan/ and build-tsan/ next to build/ and are
 # reused across runs (incremental). Exit status is nonzero on any failure.
@@ -35,9 +38,18 @@ configure_and_build() {
   cmake --build "$ROOT/$dir" -j "$JOBS" "$@"
 }
 
-step "crypto-hygiene lint (pprox_lint)"
+LINT_SCOPE=("$ROOT/src/common" "$ROOT/src/crypto" "$ROOT/src/pprox"
+            "$ROOT/src/lrs" "$ROOT/src/attack" "$ROOT/tools")
+
+step "crypto-hygiene + information-flow lint (pprox_lint --flow)"
 configure_and_build build-asan "address;undefined" --target pprox_lint
-"$ROOT/build-asan/tools/pprox_lint" "$ROOT/src/crypto" "$ROOT/src/pprox"
+"$ROOT/build-asan/tools/pprox_lint" --flow "${LINT_SCOPE[@]}"
+"$ROOT/build-asan/tools/pprox_lint" --flow \
+    --baseline "$ROOT/tools/lint_baseline.json" "${LINT_SCOPE[@]}"
+
+step "negative-compile suite (taint-domain violations must not build)"
+ctest --test-dir "$ROOT/build-asan" -R '^compile_fail_' \
+      --output-on-failure -j "$JOBS"
 
 if [[ "$QUICK" == 1 ]]; then
   step "ASan/UBSan smoke: test_concurrent + test_pipeline"

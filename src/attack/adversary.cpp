@@ -1,3 +1,4 @@
+// PPROX-LAYER: attack
 #include "attack/adversary.hpp"
 
 #include <algorithm>

@@ -1,7 +1,15 @@
+// PPROX-LAYER: attack
+//
 // The paper's adversary (§2.3): observes all RaaS-internal traffic and the
 // LRS database in the clear, and can break into at most ONE enclave layer at
 // a time. This module makes the §6.1 security analysis executable: given a
 // set of stolen secrets and a set of observations, what can be linked?
+//
+// Flow-lint note: the attack layer deliberately sits OUTSIDE the trusted
+// computing base — it models what a breached enclave's loot can derive, so
+// it may reference both layers' recovery APIs. The layering rules that bind
+// ua/ia/lrs/shared TUs do not apply here; the justification-comment and
+// crypto-hygiene rules still do.
 #pragma once
 
 #include <optional>

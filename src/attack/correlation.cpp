@@ -1,3 +1,4 @@
+// PPROX-LAYER: attack
 #include "attack/correlation.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// PPROX-LAYER: attack
+//
 // Flow-correlation attack over wire observations (paper §4.3, analyzed in
 // §6.2): the adversary timestamps every encrypted, constant-size packet at
 // each vantage point and tries to match an inbound client request to the

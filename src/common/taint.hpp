@@ -1,0 +1,236 @@
+// PPROX-LAYER: vocab
+//
+// Typed information-flow taint domains for the PProx unlinkability invariant
+// (paper §2.3/§6.1, DESIGN.md §8). PProx's security argument is
+// architectural: the User Anonymizer must never observe cleartext item
+// identifiers and the Item Anonymizer must never observe user identifiers.
+// This header turns that argument into types: a cleartext identifier is
+// carried in a `Sensitive<T, Domain>` wrapper that cannot be read, mixed
+// across domains, or passed to an API of the wrong layer without going
+// through one of the explicit, named `declassify_*` functions below. Misuse
+// is a compile error (see tests/compile_fail/); every declassify call site
+// must carry a `// PPROX-DECLASSIFY:` justification comment, which
+// `pprox_lint --flow` audits.
+//
+// The domain lattice (DESIGN.md §8.2):
+//
+//       UserDomain        ItemDomain      <- cleartext identifiers (high)
+//            \               /
+//             PseudonymDomain             <- det_enc / enc output (releasable)
+//
+// Values only move *down* the lattice, and only through a declassifier whose
+// name states the cryptographic transformation that justifies the release.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace pprox::taint {
+
+/// Cleartext user identifiers and user network addresses. Visible to the
+/// client library and, inside the enclave, to the UA layer only.
+struct UserDomain {
+  static constexpr const char* kName = "user";
+};
+
+/// Cleartext item identifiers (and IA-destined payloads such as ratings).
+/// Visible to the client library and, inside the enclave, to the IA layer.
+struct ItemDomain {
+  static constexpr const char* kName = "item";
+};
+
+/// Pseudonymized or encrypted values: det_enc(id, k_layer) output, OAEP
+/// ciphertexts, k_u-sealed response blocks. Safe for any observer by
+/// construction — this is the bottom of the lattice and the only domain the
+/// LRS may consume.
+struct PseudonymDomain {
+  static constexpr const char* kName = "pseudonym";
+};
+
+template <typename D>
+inline constexpr bool is_domain_v = std::is_same_v<D, UserDomain> ||
+                                    std::is_same_v<D, ItemDomain> ||
+                                    std::is_same_v<D, PseudonymDomain>;
+
+struct UnsafeRawAccess;  // the single, lint-guarded extraction point
+
+/// Zero-cost phantom-typed wrapper: exactly the layout of T, but the value
+/// is only reachable through a declassifier (or `wire()` for pseudonyms,
+/// which are designed to be observed). Cross-domain construction,
+/// assignment, and comparison do not compile.
+template <typename T, typename Domain>
+class [[nodiscard]] Sensitive {
+  static_assert(is_domain_v<Domain>,
+                "Domain must be UserDomain, ItemDomain, or PseudonymDomain");
+
+ public:
+  using value_type = T;
+  using domain_type = Domain;
+
+  Sensitive() = default;
+  constexpr explicit Sensitive(T value) : value_(std::move(value)) {}
+
+  Sensitive(const Sensitive&) = default;
+  Sensitive(Sensitive&&) noexcept = default;
+  Sensitive& operator=(const Sensitive&) = default;
+  Sensitive& operator=(Sensitive&&) noexcept = default;
+
+  // Cross-domain flows are compile errors, not runtime checks.
+  template <typename U, typename D2>
+  Sensitive(const Sensitive<U, D2>&) = delete;
+  template <typename U, typename D2>
+  Sensitive& operator=(const Sensitive<U, D2>&) = delete;
+
+  /// Same-domain equality only (pseudonym-stability checks and the like);
+  /// comparing across domains does not compile.
+  friend bool operator==(const Sensitive&, const Sensitive&) = default;
+
+  /// Pseudonyms are the *output* of the privacy transformation and are meant
+  /// to travel on the wire and rest in the LRS database; reading one needs
+  /// no declassification. Absent for UserDomain/ItemDomain by constraint.
+  const T& wire() const
+    requires std::is_same_v<Domain, PseudonymDomain>
+  {
+    return value_;
+  }
+
+ private:
+  T value_;
+  friend struct UnsafeRawAccess;
+};
+
+/// The only code with raw access to a Sensitive payload. Every legitimate
+/// use lives in this header (the declassifiers and domain-preserving
+/// combinators); `pprox_lint --flow` rejects any reference to it elsewhere.
+struct UnsafeRawAccess {
+  template <typename T, typename D>
+  static const T& ref(const Sensitive<T, D>& s) {
+    return s.value_;
+  }
+  template <typename T, typename D>
+  static T&& take(Sensitive<T, D>&& s) {
+    return std::move(s.value_);
+  }
+};
+
+template <typename T>
+struct IsSensitive : std::false_type {};
+template <typename T, typename D>
+struct IsSensitive<Sensitive<T, D>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_sensitive_v = IsSensitive<T>::value;
+
+// Layout guarantees: the wrapper is free. test_taint.cpp asserts the same
+// for the concrete instantiations the pipeline uses.
+static_assert(sizeof(Sensitive<std::uint64_t, UserDomain>) ==
+              sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Sensitive<std::uint64_t, ItemDomain>>);
+static_assert(std::is_trivially_destructible_v<Sensitive<int, PseudonymDomain>>);
+
+// ---------------------------------------------------------------------------
+// Domain-preserving combinators — NOT declassification. The result carries
+// the same domain as the input, so no justification comment is required.
+// ---------------------------------------------------------------------------
+
+/// Applies `f` to the protected value; the result stays in the same domain.
+template <typename T, typename D, typename F>
+auto map(const Sensitive<T, D>& s, F&& f)
+    -> Sensitive<std::invoke_result_t<F, const T&>, D> {
+  return Sensitive<std::invoke_result_t<F, const T&>, D>(
+      std::forward<F>(f)(UnsafeRawAccess::ref(s)));
+}
+
+namespace detail {
+template <typename R>
+struct ResultValue;
+template <typename U>
+struct ResultValue<Result<U>> {
+  using type = U;
+};
+}  // namespace detail
+
+/// Like map, for fallible transforms: `f` returns Result<U>; the success
+/// value stays in the same domain, errors propagate unwrapped (error
+/// messages must never embed the protected value — lint rule of thumb).
+template <typename T, typename D, typename F>
+auto try_map(const Sensitive<T, D>& s, F&& f) -> Result<
+    Sensitive<typename detail::ResultValue<std::invoke_result_t<F, const T&>>::type,
+              D>> {
+  using U =
+      typename detail::ResultValue<std::invoke_result_t<F, const T&>>::type;
+  auto result = std::forward<F>(f)(UnsafeRawAccess::ref(s));
+  if (!result.ok()) return result.error();
+  return Sensitive<U, D>(std::move(result).value());
+}
+
+/// Fallible aggregation over a same-domain sequence (e.g. serializing a
+/// recommendation list into one response block before sealing it).
+template <typename T, typename D, typename F>
+auto try_map_all(const std::vector<Sensitive<T, D>>& items, F&& f) -> Result<
+    Sensitive<typename detail::ResultValue<
+                  std::invoke_result_t<F, const std::vector<T>&>>::type,
+              D>> {
+  using U = typename detail::ResultValue<
+      std::invoke_result_t<F, const std::vector<T>&>>::type;
+  std::vector<T> raw;
+  raw.reserve(items.size());
+  for (const Sensitive<T, D>& s : items) raw.push_back(UnsafeRawAccess::ref(s));
+  auto result = std::forward<F>(f)(raw);
+  if (!result.ok()) return result.error();
+  return Sensitive<U, D>(std::move(result).value());
+}
+
+// ---------------------------------------------------------------------------
+// Declassification points — the ONLY exits from a sensitive domain. Each
+// name states the transformation or trust argument that justifies the
+// release; pprox_lint --flow requires a `// PPROX-DECLASSIFY:` comment at
+// every call site and DESIGN.md §8.4 enumerates all of them.
+// ---------------------------------------------------------------------------
+
+/// PPROX-DECLASSIFY: definition — release into a deterministic encryption
+/// under a layer's permanent key kUA/kIA; the observable output is the
+/// pseudonym det_enc(id, k), which is the protocol's protection itself.
+template <typename T, typename D>
+const T& declassify_for_pseudonymization(const Sensitive<T, D>& s) {
+  return UnsafeRawAccess::ref(s);
+}
+
+/// PPROX-DECLASSIFY: definition — release into a randomized encryption under
+/// a key the observer does not hold (a layer public key pkUA/pkIA, or the
+/// per-request temporary key k_u). The plaintext never leaves the caller.
+template <typename T, typename D>
+const T& declassify_for_encryption(const Sensitive<T, D>& s) {
+  return UnsafeRawAccess::ref(s);
+}
+
+/// PPROX-DECLASSIFY: definition — client-side release of the user's own data
+/// back to the calling application (the user is trusted with their own
+/// identifiers and recommendations; paper §2.2 trust model).
+template <typename T, typename D>
+T declassify_for_client(Sensitive<T, D> s) {
+  return UnsafeRawAccess::take(std::move(s));
+}
+
+/// PPROX-DECLASSIFY: definition — §6.3 IA-side release of item-domain data
+/// to the LRS in the clear: the item-pseudonymization opt-out, and event
+/// payloads (ratings/weights) the LRS must read. Constrained to ItemDomain
+/// so a user identifier can never take this path.
+template <typename T>
+T declassify_for_lrs(Sensitive<T, ItemDomain> s) {
+  return UnsafeRawAccess::take(std::move(s));
+}
+
+/// PPROX-DECLASSIFY: definition — test/diagnostic escape hatch. Forbidden in
+/// src/ and tools/ by pprox_lint --flow; tests and benches use it to inspect
+/// pipeline values.
+template <typename T, typename D>
+T declassify_for_test(  // pprox-lint: allow(flow-test-declassify): definition
+    Sensitive<T, D> s) {
+  return UnsafeRawAccess::take(std::move(s));
+}
+
+}  // namespace pprox::taint

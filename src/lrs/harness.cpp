@@ -1,3 +1,4 @@
+// PPROX-LAYER: lrs
 #include "lrs/harness.hpp"
 
 #include <algorithm>
@@ -48,6 +49,16 @@ http::HttpResponse HarnessServer::post_event(const std::string& user,
     if (std::find(h.begin(), h.end(), item) == h.end()) h.push_back(item);
   }
   return http::HttpResponse::json_response(201, R"({"status":"accepted"})");
+}
+
+http::HttpResponse HarnessServer::post_event(const StoredPseudonym& user,
+                                             const StoredPseudonym& item,
+                                             const std::string& payload) {
+  return post_event(user.wire(), item.wire(), payload);
+}
+
+http::HttpResponse HarnessServer::query(const StoredPseudonym& user) {
+  return query(user.wire());
 }
 
 std::vector<std::pair<std::string, std::string>> HarnessServer::dump_events() const {

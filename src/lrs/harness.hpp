@@ -1,16 +1,23 @@
+// PPROX-LAYER: lrs
+//
 // The Harness-like legacy recommendation system (LRS): REST front-end over
 // the document store (MongoDB stand-in), search index (Elasticsearch
 // stand-in) and CCO batch trainer (Spark stand-in). Matches the surface the
 // paper integrates with (§7): insert feedback, train, query recommendations.
 //
 // The LRS is privacy-oblivious by design: it stores and serves whatever
-// (possibly pseudonymized) identifiers it receives.
+// (possibly pseudonymized) identifiers it receives. In flow-lint terms it
+// is the lowest layer of the lattice: an LRS translation unit may consume
+// PseudonymDomain values only — referencing a user/item cleartext type or a
+// declassifier here fails `pprox_lint --flow`, and handing a UserId to the
+// typed entry points below fails to compile (tests/compile_fail/).
 #pragma once
 
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "common/taint.hpp"
 #include "http/http.hpp"
 #include "lrs/cco.hpp"
 #include "lrs/docstore.hpp"
@@ -18,6 +25,12 @@
 #include "net/channel.hpp"
 
 namespace pprox::lrs {
+
+/// The only identifier type a privacy-preserving deployment hands to the
+/// LRS: base64(det_enc(padded id, k_layer)). Releasable by construction —
+/// reading it via wire() needs no declassification.
+using StoredPseudonym =
+    taint::Sensitive<std::string, taint::PseudonymDomain>;
 
 struct HarnessConfig {
   std::size_t max_recommendations = 20;  ///< result list cap (paper §4.3)
@@ -38,10 +51,18 @@ class HarnessServer final : public net::RequestSink {
   // the simulator; here correctness is what matters).
   void handle(http::HttpRequest request, net::RespondFn done) override;
 
-  /// Direct API used by tests and the trainer examples.
+  /// Direct API used by tests and the trainer examples. The untyped string
+  /// overloads are the wire boundary (JSON bodies arrive as text); the
+  /// StoredPseudonym overloads are the typed in-process entry points — a
+  /// UserId/ItemId has no conversion to StoredPseudonym, so cleartext
+  /// identifiers cannot reach the LRS without an audited declassification.
   http::HttpResponse post_event(const std::string& user, const std::string& item,
                                 const std::string& payload = "");
+  http::HttpResponse post_event(const StoredPseudonym& user,
+                                const StoredPseudonym& item,
+                                const std::string& payload = "");
   http::HttpResponse query(const std::string& user);
+  http::HttpResponse query(const StoredPseudonym& user);
   std::size_t train();
 
   /// Scored query (diagnostic surface): lets callers distinguish genuinely

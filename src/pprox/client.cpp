@@ -1,3 +1,4 @@
+// PPROX-LAYER: client
 #include "pprox/client.hpp"
 
 #include "common/encoding.hpp"
@@ -17,11 +18,9 @@ ClientLibrary::ClientLibrary(ClientParams params,
       rng_(rng != nullptr ? rng : &crypto::global_drbg()),
       tenant_id_(std::move(tenant_id)) {}
 
-Result<std::string> ClientLibrary::encrypt_id_for(const crypto::RsaPublicKey& pk,
-                                                  const std::string& id) {
-  auto block = pad_identifier(id);
-  if (!block.ok()) return block.error();
-  auto cipher = crypto::rsa_encrypt_oaep(pk, block.value(), *rng_);
+Result<std::string> ClientLibrary::encrypt_block_for(
+    const crypto::RsaPublicKey& pk, ByteView block) {
+  auto cipher = crypto::rsa_encrypt_oaep(pk, block, *rng_);
   if (!cipher.ok()) return cipher.error();
   return base64_encode(cipher.value());
 }
@@ -29,9 +28,13 @@ Result<std::string> ClientLibrary::encrypt_id_for(const crypto::RsaPublicKey& pk
 Result<http::HttpRequest> ClientLibrary::build_post_request(
     const std::string& user, const std::string& item,
     const std::string& payload) {
-  auto enc_user = encrypt_id_for(params_.pk_ua, user);
+  // Wrap at the application boundary: from here on the identifiers are
+  // domain-typed and can only exit through an encryption declassifier.
+  const UserId user_id{user};
+  const ItemId item_id{item};
+  auto enc_user = encrypt_sensitive_for(params_.pk_ua, user_id);
   if (!enc_user.ok()) return enc_user.error();
-  auto enc_item = encrypt_id_for(params_.pk_ia, item);
+  auto enc_item = encrypt_sensitive_for(params_.pk_ia, item_id);
   if (!enc_item.ok()) return enc_item.error();
 
   json::JsonValue body{json::JsonObject{}};
@@ -39,8 +42,9 @@ Result<http::HttpRequest> ClientLibrary::build_post_request(
   body.set(fields::kItem, enc_item.value());
   if (!payload.empty()) {
     // The payload rides in the same fixed-size encrypted block format as
-    // identifiers, for exclusive visibility by the IA layer.
-    auto enc_payload = encrypt_id_for(params_.pk_ia, payload);
+    // identifiers, for exclusive visibility by the IA layer (ItemDomain).
+    const ItemId payload_value{payload};
+    auto enc_payload = encrypt_sensitive_for(params_.pk_ia, payload_value);
     if (!enc_payload.ok()) return enc_payload.error();
     body.set(fields::kPayload, enc_payload.value());
   }
@@ -56,7 +60,8 @@ Result<http::HttpRequest> ClientLibrary::build_post_request(
 
 Result<ClientLibrary::GetCall> ClientLibrary::build_get_request(
     const std::string& user) {
-  auto enc_user = encrypt_id_for(params_.pk_ua, user);
+  const UserId user_id{user};
+  auto enc_user = encrypt_sensitive_for(params_.pk_ua, user_id);
   if (!enc_user.ok()) return enc_user.error();
 
   // Fresh temporary key per get call (paper §4.1): protects the returned
@@ -103,9 +108,19 @@ Result<std::vector<std::string>> ClientLibrary::decode_get_response(
     block = cipher.decrypt(*payload);
   }
   if (!block.ok()) return block.error();
-  auto items = decode_response_block(block.value());
+  // The freshly decrypted list is item-domain plaintext; it is released to
+  // the application only because this code runs on the user's side.
+  auto items =
+      decode_sensitive_response_block<taint::ItemDomain>(block.value());
   if (!items.ok()) return items.error();
-  return strip_pad_items(std::move(items.value()));
+  std::vector<std::string> plain;
+  plain.reserve(items.value().size());
+  for (ItemId& item : items.value()) {
+    // PPROX-DECLASSIFY: client-side release of the user's own recommendation
+    // list to the calling application (paper §2.2 trust model).
+    plain.push_back(taint::declassify_for_client(std::move(item)));
+  }
+  return strip_pad_items(std::move(plain));
 }
 
 void ClientLibrary::post(const std::string& user, const std::string& item,

@@ -1,8 +1,16 @@
+// PPROX-LAYER: client
+//
 // User-side library (paper §2.1 ➄, §4.2): intercepts the application's REST
 // calls, encrypts identifiers for the two proxy layers, generates the
 // per-request temporary key k_u for get calls, and transparently decrypts
 // and unpads the returned recommendations. Holds no per-user state beyond
 // the globally-known public parameters — the "thin static code" requirement.
+//
+// The client is the one place both taint domains legitimately coexist in
+// the clear (the user owns their identity and their feedback). Identifiers
+// are wrapped into Sensitive<_, Domain> at the API boundary and only leave
+// through encryption declassifiers, so a refactor cannot accidentally put
+// an id on the wire unencrypted.
 #pragma once
 
 #include <future>
@@ -60,8 +68,22 @@ class ClientLibrary {
       const http::HttpResponse& response, ByteView k_u);
 
  private:
-  Result<std::string> encrypt_id_for(const crypto::RsaPublicKey& pk,
-                                     const std::string& id);
+  /// Pads and RSA-OAEP-encrypts a domain-typed identifier for the layer
+  /// holding `pk`. The id's cleartext exits its domain only into the OAEP
+  /// ciphertext (declassify_for_encryption inside).
+  template <typename Domain>
+  Result<std::string> encrypt_sensitive_for(
+      const crypto::RsaPublicKey& pk,
+      const taint::Sensitive<std::string, Domain>& id) {
+    auto block = pad_sensitive_id(id);
+    if (!block.ok()) return block.error();
+    // PPROX-DECLASSIFY: randomized RSA-OAEP under the layer public key —
+    // only the target layer's enclave can recover the block.
+    return encrypt_block_for(pk,
+                             taint::declassify_for_encryption(block.value()));
+  }
+  Result<std::string> encrypt_block_for(const crypto::RsaPublicKey& pk,
+                                        ByteView block);
 
   ClientParams params_;
   std::shared_ptr<net::HttpChannel> channel_;

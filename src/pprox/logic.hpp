@@ -1,89 +1,14 @@
+// PPROX-LAYER: vocab
+//
 // In-enclave data-processing logic for the two proxy layers (paper §4.2).
-// These classes are the *enclave code*: they are constructed from the
-// provisioned secrets inside an ecall and perform all cryptographic
-// transformations with in-place JSON editing (no DOM, minimal copies — §5).
-//
-//  UA (User Anonymizer): sees u in the clear, never item identifiers.
-//    post/get request:  enc(u,pkUA) -> det_enc(u,kUA)
-//    responses:         pass through untouched (they are opaque to UA).
-//
-//  IA (Item Anonymizer): sees item identifiers in the clear, never u.
-//    post request:  enc(i,pkIA) -> det_enc(i,kIA)
-//    get request:   extract k_u = dec(enc(k_u,pkIA)); strip it from the call
-//    get response:  det_enc(i_x,kIA) list -> pad to 20 -> enc(list, k_u)
+// The two layers live in separate translation units so the information-flow
+// lint (tools/pprox_lint --flow) can enforce the unlinkability layering at
+// the TU level: logic_ua.* never references item-plaintext APIs, logic_ia.*
+// never references user-plaintext APIs. This umbrella header exists for
+// hosts (proxy, deployment, tests) that legitimately drive both layers —
+// always through ciphertext-in/ciphertext-out transforms.
 #pragma once
 
-#include <string>
-
-#include "common/rand.hpp"
-#include "common/result.hpp"
-#include "crypto/ctr.hpp"
-#include "pprox/keys.hpp"
-#include "pprox/message.hpp"
-
-namespace pprox {
-
-/// User-Anonymizer enclave code.
-class UaLogic {
- public:
-  /// Deserializes the provisioned secrets blob (called inside an ecall).
-  static Result<UaLogic> from_secrets(ByteView secrets_blob);
-
-  /// Pseudonymizes the "user" field of a post or get body.
-  Result<std::string> transform_request(std::string body) const;
-
-  /// Responses traverse the UA unchanged (encrypted under k_u or opaque).
-  std::string transform_response(std::string body) const { return body; }
-
- private:
-  explicit UaLogic(LayerSecrets secrets);
-  LayerSecrets secrets_;
-  crypto::DeterministicCipher det_;
-};
-
-/// Item-Anonymizer enclave code.
-class IaLogic {
- public:
-  static Result<IaLogic> from_secrets(ByteView secrets_blob);
-
-  /// post: pseudonymizes the "item" field and decrypts the optional payload
-  /// for the LRS. `pseudonymize_items = false` implements the §6.3 opt-out
-  /// (item sent in the clear to the LRS).
-  Result<std::string> transform_post_request(std::string body,
-                                             bool pseudonymize_items = true) const;
-
-  struct GetRequest {
-    std::string body;  ///< forwarded to the LRS (temporary key stripped)
-    Bytes k_u;         ///< per-request response key, kept in the EPC store
-  };
-  /// get: recovers k_u and strips it from the forwarded call.
-  Result<GetRequest> transform_get_request(std::string body) const;
-
-  /// get response: de-pseudonymizes the LRS item list, pads it to the
-  /// constant length, and re-encrypts it under k_u for the client.
-  /// `authenticated` selects AES-GCM (tamper-evident, +28 bytes) instead of
-  /// the paper's plain AES-CTR; the response self-describes its mode.
-  Result<std::string> transform_get_response(const std::string& lrs_body,
-                                             ByteView k_u, RandomSource& rng,
-                                             bool authenticated = false) const;
-
-  /// Decrypts one pseudonymized item id (exposed for the security tests that
-  /// model an adversary holding stolen IA secrets).
-  Result<std::string> de_pseudonymize_item(std::string_view base64_cipher) const;
-
- private:
-  explicit IaLogic(LayerSecrets secrets);
-  /// Decrypts a base64 RSA field into the padded plaintext block.
-  Result<Bytes> decrypt_field(std::string_view base64_cipher) const;
-
-  LayerSecrets secrets_;
-  crypto::DeterministicCipher det_;
-};
-
-/// Shared helper: RSA-decrypt+unpad a base64 identifier field and return its
-/// deterministic pseudonym under `det` (base64).
-Result<std::string> pseudonymize_field(const crypto::RsaPrivateKey& sk,
-                                       const crypto::DeterministicCipher& det,
-                                       std::string_view base64_cipher);
-
-}  // namespace pprox
+#include "pprox/logic_ia.hpp"
+#include "pprox/logic_ua.hpp"
+#include "pprox/pseudonymize.hpp"

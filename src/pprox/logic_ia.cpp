@@ -1,51 +1,13 @@
-#include "pprox/logic.hpp"
+// PPROX-LAYER: ia
+#include "pprox/logic_ia.hpp"
 
 #include "common/encoding.hpp"
 #include "crypto/gcm.hpp"
+#include "crypto/rsa.hpp"
 #include "json/json.hpp"
+#include "pprox/pseudonymize.hpp"
 
 namespace pprox {
-
-Result<std::string> pseudonymize_field(const crypto::RsaPrivateKey& sk,
-                                       const crypto::DeterministicCipher& det,
-                                       std::string_view base64_cipher) {
-  const auto cipher = base64_decode(base64_cipher);
-  if (!cipher) return Error::parse("field is not valid base64");
-  auto block = crypto::rsa_decrypt_oaep(sk, *cipher);
-  if (!block.ok()) return block.error();
-  if (block.value().size() != kIdBlockSize) {
-    return Error::crypto("decrypted identifier block has wrong size");
-  }
-  // Deterministic pseudonym over the *padded block*: constant size, and the
-  // LRS sees equal pseudonyms for equal identifiers.
-  return base64_encode(det.encrypt(block.value()));
-}
-
-// ---------------------------------------------------------------------------
-// UA layer
-// ---------------------------------------------------------------------------
-
-UaLogic::UaLogic(LayerSecrets secrets)
-    : secrets_(std::move(secrets)), det_(secrets_.k) {}
-
-Result<UaLogic> UaLogic::from_secrets(ByteView secrets_blob) {
-  auto secrets = LayerSecrets::deserialize(secrets_blob);
-  if (!secrets.ok()) return secrets.error();
-  return UaLogic(std::move(secrets.value()));
-}
-
-Result<std::string> UaLogic::transform_request(std::string body) const {
-  const auto user_cipher = json::get_string_field(body, fields::kUser);
-  if (!user_cipher) return Error::parse("request has no user field");
-  auto pseudonym = pseudonymize_field(secrets_.sk, det_, *user_cipher);
-  if (!pseudonym.ok()) return pseudonym.error();
-  json::replace_string_field(body, fields::kUser, pseudonym.value());
-  return body;
-}
-
-// ---------------------------------------------------------------------------
-// IA layer
-// ---------------------------------------------------------------------------
 
 IaLogic::IaLogic(LayerSecrets secrets)
     : secrets_(std::move(secrets)), det_(secrets_.k) {}
@@ -56,7 +18,16 @@ Result<IaLogic> IaLogic::from_secrets(ByteView secrets_blob) {
   return IaLogic(std::move(secrets.value()));
 }
 
-Result<Bytes> IaLogic::decrypt_field(std::string_view base64_cipher) const {
+Result<SensitiveBlock<taint::ItemDomain>> IaLogic::decrypt_item_block(
+    std::string_view base64_cipher) const {
+  const auto cipher = base64_decode(base64_cipher);
+  if (!cipher) return Error::parse("field is not valid base64");
+  auto plain = crypto::rsa_decrypt_oaep(secrets_.sk, *cipher);
+  if (!plain.ok()) return plain.error();
+  return SensitiveBlock<taint::ItemDomain>{std::move(plain.value())};
+}
+
+Result<Bytes> IaLogic::decrypt_key_field(std::string_view base64_cipher) const {
   const auto cipher = base64_decode(base64_cipher);
   if (!cipher) return Error::parse("field is not valid base64");
   return crypto::rsa_decrypt_oaep(secrets_.sk, *cipher);
@@ -67,27 +38,35 @@ Result<std::string> IaLogic::transform_post_request(std::string body,
   const auto item_cipher = json::get_string_field(body, fields::kItem);
   if (!item_cipher) return Error::parse("post has no item field");
   if (pseudonymize_items) {
-    auto pseudonym = pseudonymize_field(secrets_.sk, det_, *item_cipher);
+    auto pseudonym =
+        pseudonymize_field<taint::ItemDomain>(secrets_.sk, det_, *item_cipher);
     if (!pseudonym.ok()) return pseudonym.error();
     json::replace_string_field(body, fields::kItem, pseudonym.value());
   } else {
-    // §6.3 opt-out: forward the item in the clear for semantics-aware LRS.
-    auto block = decrypt_field(*item_cipher);
+    auto block = decrypt_item_block(*item_cipher);
     if (!block.ok()) return block.error();
-    auto id = unpad_identifier(block.value());
+    auto id = unpad_sensitive_id(block.value());
     if (!id.ok()) return id.error();
-    json::replace_string_field(body, fields::kItem, id.value());
+    // PPROX-DECLASSIFY: §6.3 item-pseudonymization opt-out — the operator
+    // chose a semantics-aware LRS; item ids (never user ids — the domain
+    // constraint enforces it) are forwarded in the clear.
+    json::replace_string_field(body, fields::kItem,
+                               taint::declassify_for_lrs(std::move(id.value())));
   }
   // Optional payload (rating, weight, ...): decrypt and forward in usable
   // form — the LRS needs the actual value, and it carries no identifier.
   if (const auto payload_cipher =
           json::get_string_field(body, fields::kPayload)) {
-    auto block = decrypt_field(*payload_cipher);
+    auto block = decrypt_item_block(*payload_cipher);
     if (!block.ok()) return block.error();
-    auto payload = unpad_identifier(block.value());
+    auto payload = unpad_sensitive_id(block.value());
     if (!payload.ok()) return payload.error();
-    json::replace_string_field(body, fields::kPayload,
-                               json::escape(payload.value()));
+    // PPROX-DECLASSIFY: event payloads are identifier-free values the LRS
+    // must read to train (paper §2.1); they ride the IA path so only the IA
+    // layer ever decrypts them.
+    json::replace_string_field(
+        body, fields::kPayload,
+        json::escape(taint::declassify_for_lrs(std::move(payload.value()))));
   }
   return body;
 }
@@ -95,7 +74,7 @@ Result<std::string> IaLogic::transform_post_request(std::string body,
 Result<IaLogic::GetRequest> IaLogic::transform_get_request(std::string body) const {
   const auto key_cipher = json::get_string_field(body, fields::kTempKey);
   if (!key_cipher) return Error::parse("get has no temporary key field");
-  auto k_u = decrypt_field(*key_cipher);
+  auto k_u = decrypt_key_field(*key_cipher);
   if (!k_u.ok()) return k_u.error();
   if (k_u.value().size() != 32) {
     return Error::crypto("temporary key has wrong length");
@@ -106,14 +85,15 @@ Result<IaLogic::GetRequest> IaLogic::transform_get_request(std::string body) con
   return GetRequest{std::move(body), std::move(k_u.value())};
 }
 
-Result<std::string> IaLogic::de_pseudonymize_item(
+Result<ItemId> IaLogic::de_pseudonymize_item(
     std::string_view base64_cipher) const {
   const auto cipher = base64_decode(base64_cipher);
   if (!cipher) return Error::parse("pseudonym is not valid base64");
   if (cipher->size() != kIdBlockSize) {
     return Error::parse("pseudonym block has wrong size");
   }
-  return unpad_identifier(det_.decrypt(*cipher));
+  const SensitiveBlock<taint::ItemDomain> block{det_.decrypt(*cipher)};
+  return unpad_sensitive_id(block);
 }
 
 Result<std::string> IaLogic::transform_get_response(const std::string& lrs_body,
@@ -126,7 +106,7 @@ Result<std::string> IaLogic::transform_get_response(const std::string& lrs_body,
   if (items == nullptr || !items->is_array()) {
     return Error::parse("LRS response has no items list");
   }
-  std::vector<std::string> plain_items;
+  std::vector<ItemId> plain_items;
   for (const auto& entry : items->as_array()) {
     if (!entry.is_string()) return Error::parse("non-string item in response");
     auto id = de_pseudonymize_item(entry.as_string());
@@ -134,15 +114,20 @@ Result<std::string> IaLogic::transform_get_response(const std::string& lrs_body,
     plain_items.push_back(std::move(id.value()));
   }
 
-  auto block = encode_response_block(pad_recommendations(std::move(plain_items)));
+  auto block = encode_sensitive_response_block(
+      pad_sensitive_recommendations(std::move(plain_items)));
   if (!block.ok()) return block.error();
+  // PPROX-DECLASSIFY: the serialized list is immediately sealed under the
+  // per-request key k_u, which only this enclave and the requesting client
+  // hold; the UA and the network observe ciphertext of constant size.
+  const Bytes& raw_block = taint::declassify_for_encryption(block.value());
   Bytes encrypted;
   if (authenticated) {
     const crypto::AesGcm cipher(k_u);
-    encrypted = cipher.seal_with_random_nonce(block.value(), rng);
+    encrypted = cipher.seal_with_random_nonce(raw_block, rng);
   } else {
     const crypto::RandomIvCipher cipher(k_u);
-    encrypted = cipher.encrypt(block.value(), rng);
+    encrypted = cipher.encrypt(raw_block, rng);
   }
 
   json::JsonValue out{json::JsonObject{}};

@@ -1,0 +1,68 @@
+// PPROX-LAYER: ia
+//
+// Item-Anonymizer enclave code (paper §4.2). The IA sees item identifiers
+// in the clear — and never the user: the user field reaches it already
+// pseudonymized by the UA, and no user-plaintext API may be referenced from
+// this translation unit (`pprox_lint --flow` fails the build if one is).
+//
+//  post request:  enc(i,pkIA) -> det_enc(i,kIA)
+//  get request:   extract k_u = dec(enc(k_u,pkIA)); strip it from the call
+//  get response:  det_enc(i_x,kIA) list -> pad to 20 -> enc(list, k_u)
+#pragma once
+
+#include <string>
+
+#include "common/rand.hpp"
+#include "common/result.hpp"
+#include "crypto/ctr.hpp"
+#include "pprox/keys.hpp"
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+/// Item-Anonymizer enclave code.
+class IaLogic {
+ public:
+  static Result<IaLogic> from_secrets(ByteView secrets_blob);
+
+  /// post: pseudonymizes the "item" field and decrypts the optional payload
+  /// for the LRS. `pseudonymize_items = false` implements the §6.3 opt-out
+  /// (item sent in the clear to the LRS).
+  Result<std::string> transform_post_request(std::string body,
+                                             bool pseudonymize_items = true) const;
+
+  struct GetRequest {
+    std::string body;  ///< forwarded to the LRS (temporary key stripped)
+    Bytes k_u;         ///< per-request response key, kept in the EPC store
+  };
+  /// get: recovers k_u and strips it from the forwarded call.
+  Result<GetRequest> transform_get_request(std::string body) const;
+
+  /// get response: de-pseudonymizes the LRS item list, pads it to the
+  /// constant length, and re-encrypts it under k_u for the client.
+  /// `authenticated` selects AES-GCM (tamper-evident, +28 bytes) instead of
+  /// the paper's plain AES-CTR; the response self-describes its mode.
+  Result<std::string> transform_get_response(const std::string& lrs_body,
+                                             ByteView k_u, RandomSource& rng,
+                                             bool authenticated = false) const;
+
+  /// Decrypts one pseudonymized item id. The result is item-domain tainted:
+  /// callers must either keep it wrapped (the get-response path re-encrypts
+  /// it under k_u) or declassify explicitly (the security tests that model
+  /// an adversary holding stolen IA secrets use declassify_for_test).
+  Result<ItemId> de_pseudonymize_item(std::string_view base64_cipher) const;
+
+ private:
+  explicit IaLogic(LayerSecrets secrets);
+  /// Decrypts a base64 RSA field into the padded item-domain plaintext block.
+  Result<SensitiveBlock<taint::ItemDomain>> decrypt_item_block(
+      std::string_view base64_cipher) const;
+  /// Decrypts the base64 RSA field carrying the temporary key k_u. Key
+  /// material, not an identifier: it stays raw Bytes and lives in the EPC.
+  Result<Bytes> decrypt_key_field(std::string_view base64_cipher) const;
+
+  LayerSecrets secrets_;
+  crypto::DeterministicCipher det_;
+};
+
+}  // namespace pprox

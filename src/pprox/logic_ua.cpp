@@ -1,0 +1,37 @@
+// PPROX-LAYER: ua
+#include "pprox/logic_ua.hpp"
+
+#include "json/json.hpp"
+#include "pprox/pseudonymize.hpp"
+
+namespace pprox {
+
+UaLogic::UaLogic(LayerSecrets secrets)
+    : secrets_(std::move(secrets)), det_(secrets_.k) {}
+
+Result<UaLogic> UaLogic::from_secrets(ByteView secrets_blob) {
+  auto secrets = LayerSecrets::deserialize(secrets_blob);
+  if (!secrets.ok()) return secrets.error();
+  return UaLogic(std::move(secrets.value()));
+}
+
+Result<std::string> UaLogic::transform_request(std::string body) const {
+  const auto user_cipher = json::get_string_field(body, fields::kUser);
+  if (!user_cipher) return Error::parse("request has no user field");
+  auto pseudonym =
+      pseudonymize_field<taint::UserDomain>(secrets_.sk, det_, *user_cipher);
+  if (!pseudonym.ok()) return pseudonym.error();
+  json::replace_string_field(body, fields::kUser, pseudonym.value());
+  return body;
+}
+
+Result<PseudonymizedId> UaLogic::pseudonym_of(const UserId& user) const {
+  auto block = pad_sensitive_id(user);
+  if (!block.ok()) return block.error();
+  // PPROX-DECLASSIFY: det_enc under kUA — the released value is the user's
+  // LRS-facing pseudonym, which the protocol is designed to expose.
+  return PseudonymizedId{base64_encode(
+      det_.encrypt(taint::declassify_for_pseudonymization(block.value())))};
+}
+
+}  // namespace pprox

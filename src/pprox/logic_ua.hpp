@@ -1,0 +1,45 @@
+// PPROX-LAYER: ua
+//
+// User-Anonymizer enclave code (paper §4.2). The UA sees the user identity
+// in the clear — and nothing else: item identifiers reach it only as
+// pkIA-encrypted blobs, and responses are opaque k_u-ciphertexts. This
+// translation unit must therefore never reference an item-plaintext API;
+// `pprox_lint --flow` fails the build if it does.
+//
+//  post/get request:  enc(u,pkUA) -> det_enc(u,kUA)
+//  responses:         pass through untouched (they are opaque to UA).
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "crypto/ctr.hpp"
+#include "pprox/keys.hpp"
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+/// User-Anonymizer enclave code.
+class UaLogic {
+ public:
+  /// Deserializes the provisioned secrets blob (called inside an ecall).
+  static Result<UaLogic> from_secrets(ByteView secrets_blob);
+
+  /// Pseudonymizes the "user" field of a post or get body.
+  Result<std::string> transform_request(std::string body) const;
+
+  /// Responses traverse the UA unchanged (encrypted under k_u or opaque).
+  std::string transform_response(std::string body) const { return body; }
+
+  /// Pseudonym of a cleartext user id, as the LRS will store it. The only
+  /// UA entry point that accepts user plaintext — and it demands the typed
+  /// wrapper, so an ItemId cannot be passed by accident (compile error).
+  Result<PseudonymizedId> pseudonym_of(const UserId& user) const;
+
+ private:
+  explicit UaLogic(LayerSecrets secrets);
+  LayerSecrets secrets_;
+  crypto::DeterministicCipher det_;
+};
+
+}  // namespace pprox

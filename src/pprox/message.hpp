@@ -1,7 +1,15 @@
+// PPROX-LAYER: vocab
+//
 // PProx wire format (paper §4.3 + §5): fixed-size identifier blocks so every
 // encrypted message between client, UA, IA and LRS has constant size;
 // base64-encoded ciphertexts inside JSON payloads; response lists padded to
 // a maximum length with pseudo-items that the user-side library discards.
+//
+// Identifier plaintext is domain-typed (common/taint.hpp): a cleartext user
+// or item id is a `Sensitive<std::string, Domain>`, its padded block a
+// `Sensitive<Bytes, Domain>`, and the typed helpers below keep the domain
+// attached across padding/serialization. Only a `declassify_*` call can
+// drop the wrapper.
 #pragma once
 
 #include <optional>
@@ -10,8 +18,23 @@
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
+#include "common/taint.hpp"
 
 namespace pprox {
+
+/// A cleartext user identifier: client-side and UA-enclave eyes only.
+using UserId = taint::Sensitive<std::string, taint::UserDomain>;
+
+/// A cleartext item identifier (or IA-destined payload).
+using ItemId = taint::Sensitive<std::string, taint::ItemDomain>;
+
+/// A pseudonymized identifier as the LRS stores it (base64 of
+/// det_enc(padded id, k_layer)); releasable by construction.
+using PseudonymizedId = taint::Sensitive<std::string, taint::PseudonymDomain>;
+
+/// A padded fixed-size identifier block whose plaintext is still sensitive.
+template <typename Domain>
+using SensitiveBlock = taint::Sensitive<Bytes, Domain>;
 
 /// Fixed plaintext block size for user/item identifiers before encryption.
 /// Must fit one RSA-OAEP-SHA256 payload for the smallest supported layer key
@@ -66,5 +89,65 @@ Result<Bytes> encode_response_block(const std::vector<std::string>& items);
 
 /// Parses a fixed-size response block back into the item list.
 Result<std::vector<std::string>> decode_response_block(ByteView block);
+
+// ---------------------------------------------------------------------------
+// Domain-typed wrappers: same transformations, but the identifier keeps its
+// taint domain. These are domain-preserving (taint::try_map), so they need
+// no declassification; extracting the raw value afterwards still does.
+// ---------------------------------------------------------------------------
+
+/// pad_identifier for a domain-typed id; the padded block stays sensitive.
+template <typename Domain>
+Result<SensitiveBlock<Domain>> pad_sensitive_id(
+    const taint::Sensitive<std::string, Domain>& id) {
+  return taint::try_map(
+      id, [](const std::string& raw) { return pad_identifier(raw); });
+}
+
+/// unpad_identifier for a domain-typed block; the id stays sensitive.
+template <typename Domain>
+Result<taint::Sensitive<std::string, Domain>> unpad_sensitive_id(
+    const SensitiveBlock<Domain>& block) {
+  return taint::try_map(
+      block, [](const Bytes& raw) { return unpad_identifier(raw); });
+}
+
+/// pad_recommendations over domain-typed items. The pseudo-items are public
+/// protocol constants, so wrapping them raises no new information.
+template <typename Domain>
+std::vector<taint::Sensitive<std::string, Domain>> pad_sensitive_recommendations(
+    std::vector<taint::Sensitive<std::string, Domain>> items) {
+  if (items.size() > kMaxRecommendations) items.resize(kMaxRecommendations);
+  std::size_t pad_index = 0;
+  while (items.size() < kMaxRecommendations) {
+    items.emplace_back(kPadItemPrefix + std::to_string(pad_index++));
+  }
+  return items;
+}
+
+/// encode_response_block over domain-typed items: the serialized list block
+/// is exactly as sensitive as the items it carries.
+template <typename Domain>
+Result<SensitiveBlock<Domain>> encode_sensitive_response_block(
+    const std::vector<taint::Sensitive<std::string, Domain>>& items) {
+  return taint::try_map_all(items, [](const std::vector<std::string>& raw) {
+    return encode_response_block(raw);
+  });
+}
+
+/// decode_response_block that labels every decoded item with `Domain` —
+/// used where freshly decrypted plaintext re-enters the typed world.
+template <typename Domain>
+Result<std::vector<taint::Sensitive<std::string, Domain>>>
+decode_sensitive_response_block(ByteView block) {
+  auto items = decode_response_block(block);
+  if (!items.ok()) return items.error();
+  std::vector<taint::Sensitive<std::string, Domain>> out;
+  out.reserve(items.value().size());
+  for (std::string& item : items.value()) {
+    out.emplace_back(std::move(item));
+  }
+  return out;
+}
 
 }  // namespace pprox

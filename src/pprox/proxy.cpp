@@ -1,3 +1,4 @@
+// PPROX-LAYER: shared
 #include "pprox/proxy.hpp"
 
 #include "common/logging.hpp"

@@ -1,8 +1,16 @@
+// PPROX-LAYER: shared
+//
 // The proxy service instance (paper §5): an untrusted server part (request
 // scheduling, shuffling, routing — here hosted on any RequestSink transport)
 // driving in-enclave data processing through ecalls into the hosted TEE.
 // One ProxyServer is one UA or IA instance; horizontal scaling runs several
 // behind a RoundRobinChannel.
+//
+// This TU is the *host*: it schedules and routes but never touches
+// identifier plaintext — every transform it invokes is ciphertext-in/
+// ciphertext-out on the enclave logic. The flow lint (`pprox_lint --flow`)
+// holds it to that: shared TUs may reference neither taint domain nor any
+// declassifier.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,43 @@
+// PPROX-LAYER: vocab
+//
+// The shared decrypt-then-pseudonymize transform both enclave layers apply
+// to their identifier field (paper §4.2). Domain-generic: the instantiating
+// translation unit names what kind of cleartext transits through it (UA:
+// UserDomain, IA: ItemDomain), and the decrypted block is wrapped the
+// instant it exists, leaving only through the pseudonymization declassifier.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/encoding.hpp"
+#include "common/result.hpp"
+#include "common/taint.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/rsa.hpp"
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+/// RSA-decrypt+unpad a base64 identifier field and return its deterministic
+/// pseudonym under `det` (base64).
+template <typename Domain>
+Result<std::string> pseudonymize_field(const crypto::RsaPrivateKey& sk,
+                                       const crypto::DeterministicCipher& det,
+                                       std::string_view base64_cipher) {
+  const auto cipher = base64_decode(base64_cipher);
+  if (!cipher) return Error::parse("field is not valid base64");
+  auto plain = crypto::rsa_decrypt_oaep(sk, *cipher);
+  if (!plain.ok()) return plain.error();
+  if (plain.value().size() != kIdBlockSize) {
+    return Error::crypto("decrypted identifier block has wrong size");
+  }
+  const SensitiveBlock<Domain> block{std::move(plain.value())};
+  // Deterministic pseudonym over the *padded block*: constant size, and the
+  // LRS sees equal pseudonyms for equal identifiers.
+  // PPROX-DECLASSIFY: det_enc under the layer's permanent key k; the output
+  // is the pseudonym that the protocol is designed to expose.
+  return base64_encode(det.encrypt(taint::declassify_for_pseudonymization(block)));
+}
+
+}  // namespace pprox

@@ -1,3 +1,4 @@
+// PPROX-LAYER: shared
 #include "pprox/shuffle.hpp"
 
 namespace pprox {

@@ -1,7 +1,15 @@
+// PPROX-LAYER: shared
+//
 // Request/response shuffling buffer (paper §4.3, Fig. 5): actions are
 // buffered until S of them are pending or a timer expires, then released in
 // randomized order. Breaks the temporal correlation between a proxy layer's
 // inbound and outbound messages.
+//
+// The buffered release actions close over *ciphertext only* (an already-
+// transformed request or a sealed response): this TU is flow-lint "shared",
+// so it can never name a taint domain or declassifier, and the only way a
+// cleartext identifier could enter a closure is through a declassify_* call
+// upstream — which the lint audits at that call site.
 #pragma once
 
 #include <atomic>

@@ -1,3 +1,4 @@
+// PPROX-LAYER: shared
 #include "pprox/tenancy.hpp"
 
 namespace pprox {

@@ -1,3 +1,5 @@
+// PPROX-LAYER: shared
+//
 // Multi-tenancy (paper §6.3 "Assumption on traffic"): a RaaS provider can
 // run ONE proxy layer for MANY client applications, so low-traffic tenants
 // still see full shuffle buffers (their requests mix with other tenants').

@@ -1,0 +1,22 @@
+// PPROX-LAYER: tooling
+//
+// Negative-compile case: values must not migrate between taint domains by
+// assignment. Sensitive<T, D> deletes its cross-domain converting
+// constructor and assignment operator, so an ItemDomain value can never be
+// laundered into a UserDomain slot (or vice versa).
+#include <string>
+
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+void reassign(UserId& user, const ItemId& item) {
+#ifdef PPROX_VIOLATION
+  user = item;  // cross-domain assignment: deleted
+#else
+  user = UserId{std::string("fresh")};
+  (void)item;
+#endif
+}
+
+}  // namespace pprox

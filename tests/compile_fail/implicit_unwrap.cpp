@@ -1,0 +1,22 @@
+// PPROX-LAYER: tooling
+//
+// Negative-compile case: a sensitive value must not decay to its raw
+// representation implicitly. Sensitive<T, D> has no conversion operator;
+// the only exits are the audited declassify_* functions (and wire(), which
+// is constrained to PseudonymDomain).
+#include <string>
+
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+std::string leak(const UserId& user) {
+#ifdef PPROX_VIOLATION
+  return user;  // no operator std::string(): must not compile
+#else
+  // The audited escape hatch spells out the release.
+  return taint::declassify_for_test(user);
+#endif
+}
+
+}  // namespace pprox

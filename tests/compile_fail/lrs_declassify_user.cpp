@@ -1,0 +1,24 @@
+// PPROX-LAYER: tooling
+//
+// Negative-compile case: the §6.3 item-pseudonymization opt-out releases
+// *item* identifiers to the LRS in the clear. declassify_for_lrs is
+// constrained to ItemDomain precisely so the same opt-out can never be
+// applied to a user identity — user pseudonymization has no off switch.
+#include <string>
+
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+std::string opt_out(UserId user, ItemId item) {
+#ifdef PPROX_VIOLATION
+  return taint::declassify_for_lrs(std::move(user));  // wrong domain
+#else
+  (void)user;
+  // PPROX-DECLASSIFY: compile-fail control branch — exercises the audited
+  // item-side opt-out release to prove the harness compiles legitimate code.
+  return taint::declassify_for_lrs(std::move(item));
+#endif
+}
+
+}  // namespace pprox

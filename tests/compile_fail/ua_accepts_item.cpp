@@ -1,0 +1,21 @@
+// PPROX-LAYER: tooling
+//
+// Negative-compile case: the UA's typed pseudonymization entry point takes
+// UserId only. Feeding it an ItemDomain value would make the UA observe an
+// item identifier (breaking the split that gives PProx its unlinkability),
+// and must fail because the cross-domain converting constructor is deleted.
+#include "pprox/logic_ua.hpp"
+
+namespace pprox {
+
+Result<PseudonymizedId> pseudonymize(const UaLogic& ua, const UserId& user,
+                                     const ItemId& item) {
+#ifdef PPROX_VIOLATION
+  return ua.pseudonym_of(item);  // UA observing an item id: must not compile
+#else
+  (void)item;
+  return ua.pseudonym_of(user);
+#endif
+}
+
+}  // namespace pprox

@@ -1,0 +1,27 @@
+// PPROX-LAYER: tooling
+//
+// Negative-compile case: a cleartext user identity must not cross into the
+// LRS API. The typed HarnessServer::post_event overload only accepts
+// StoredPseudonym (PseudonymDomain); handing it a UserDomain value has to
+// fail overload resolution because Sensitive's cross-domain conversion is
+// deleted and the raw std::string overload can't be reached implicitly.
+#include <string>
+
+#include "lrs/harness.hpp"
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+void record(lrs::HarnessServer& harness, const UserId& user,
+            const PseudonymizedId& user_pseudonym,
+            const PseudonymizedId& item_pseudonym) {
+#ifdef PPROX_VIOLATION
+  // A user identity reaching the LRS links every event to the person.
+  (void)harness.post_event(user, item_pseudonym);
+#else
+  (void)harness.post_event(user_pseudonym, item_pseudonym);
+  (void)user;
+#endif
+}
+
+}  // namespace pprox

@@ -1,0 +1,22 @@
+// PPROX-LAYER: tooling
+//
+// Negative-compile case: wire() is the serialization accessor for values
+// that are *already* pseudonymized — its requires-clause restricts it to
+// PseudonymDomain. Calling it on a UserDomain value would put a cleartext
+// identity on the wire, so the constraint must reject it.
+#include <string>
+
+#include "pprox/message.hpp"
+
+namespace pprox {
+
+std::string serialize(const UserId& user, const PseudonymizedId& pseudonym) {
+#ifdef PPROX_VIOLATION
+  return user.wire();  // requires PseudonymDomain: must not compile
+#else
+  (void)user;
+  return pseudonym.wire();
+#endif
+}
+
+}  // namespace pprox

@@ -214,9 +214,19 @@ TEST_F(LogicTest, DePseudonymizeItemInverse) {
   const std::string p = pseudonym(keys_->ia, "movie-42");
   const auto back = ia_->de_pseudonymize_item(p);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back.value(), "movie-42");
+  // The result is ItemDomain-tainted; only the test escape hatch reads it.
+  EXPECT_EQ(taint::declassify_for_test(back.value()), "movie-42");
   EXPECT_FALSE(ia_->de_pseudonymize_item("@@@").ok());
   EXPECT_FALSE(ia_->de_pseudonymize_item("c2hvcnQ=").ok());  // wrong size
+}
+
+TEST_F(LogicTest, TypedUaPseudonymMatchesWireTransform) {
+  // The typed UA entry point and the wire-level transform must agree.
+  const auto typed = ua_->pseudonym_of(UserId{"alice"});
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed.value().wire(), pseudonym(keys_->ua, "alice"));
+  // Oversized ids are rejected, not truncated.
+  EXPECT_FALSE(ua_->pseudonym_of(UserId{std::string(4096, 'x')}).ok());
 }
 
 }  // namespace

@@ -1,8 +1,8 @@
-// pprox_lint — crypto-hygiene lint for the PProx sources.
+// pprox_lint — crypto-hygiene and privacy information-flow lint for the
+// PProx sources.
 //
-// Scans C++ sources (by default src/crypto and src/pprox, the layers that
-// touch key material and pseudonyms) for patterns that break the paper's
-// unlinkability argument in a real deployment even though they are
+// Crypto rules (always on) scan C++ sources for patterns that break the
+// paper's unlinkability argument in a real deployment even though they are
 // functionally correct:
 //
 //   rand          rand()/srand()/random()/drand48()/rand_r() — non-crypto
@@ -18,18 +18,44 @@
 //   secret-index  S-box style table lookups (identifiers matching
 //                 k*Sbox/k*SBox) indexed by a non-constant expression —
 //                 a classic cache side channel.
+//   bare-suppression  an inline allow(...) with no justification text after
+//                 the closing parenthesis — every suppression must say why.
 //
-// False positives are suppressed inline, on the offending line:
+// Flow rules (--flow) enforce the UA/IA unlinkability layering of DESIGN.md
+// §8 at the translation-unit level. Each file declares its layer with a
+// marker comment in its first lines (or gets a path-based default):
+//
+//     ua | ia | client | lrs | shared | attack | vocab | tooling
+//
+//   flow-layer    a UA-layer unit references an item-plaintext symbol (or
+//                 IA headers), an IA-layer unit references a user-plaintext
+//                 symbol (or UA headers), a shared unit references any taint
+//                 domain or declassifier, an LRS unit references anything
+//                 but PseudonymDomain. Include bans are checked over the
+//                 *transitive* include graph of the scanned set.
+//   flow-declassify   a declassify_* reference without a PPROX-DECLASSIFY
+//                 justification comment on the same or nearby lines.
+//   flow-test-declassify  the test-only escape hatch used in src/ or tools/.
+//   flow-internal UnsafeRawAccess referenced outside common/taint.hpp.
+//
+// False positives are suppressed inline, on the offending line, with a
+// mandatory reason:
 //     std::memcmp(a, b, n);  // pprox-lint: allow(memcmp): public inputs
-// The justification text after the second ':' is optional but encouraged.
 //
-// Exit status: 0 clean, 1 findings, 2 usage/IO error. Diagnostics are
-// "file:line: [rule] message" so editors and CI can jump to them.
+// Output: "file:line: [rule] message" diagnostics on stderr, or a JSON
+// report on stdout with --json (findings, per-rule totals, and the per-unit
+// layer/include graph). --baseline FILE compares per-rule totals against a
+// checked-in baseline and fails only on regressions, so CI can gate on
+// "no new findings" while a cleanup is in flight.
+//
+// Exit status: 0 clean (or within baseline), 1 findings/regressions,
+// 2 usage/IO error.
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -46,13 +72,31 @@ struct Finding {
   std::string message;
 };
 
+/// One scanned file in the flow model: its declared layer and its direct
+/// repo-relative includes (the per-TU node of the symbol/include graph).
+struct Unit {
+  std::string path;           ///< as passed on the command line
+  std::string layer;          ///< ua|ia|client|lrs|shared|attack|vocab|tooling
+  bool layer_from_marker = false;
+  std::vector<std::string> includes;  ///< include strings, e.g. "pprox/keys.hpp"
+};
+
+struct Options {
+  bool flow = false;
+  bool json = false;
+  std::string baseline;
+  std::vector<fs::path> inputs;
+};
+
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Parses "pprox-lint: allow(rule1, rule2)" suppressions out of a raw line.
-std::set<std::string> suppressions_on(const std::string& line) {
+/// Parses a suppression comment ("pprox-lint: allow(rule): why") out of a
+/// raw line. `bare` is set when no ": why" follows the closing parenthesis.
+std::set<std::string> suppressions_on(const std::string& line, bool* bare) {
   std::set<std::string> rules;
+  if (bare != nullptr) *bare = false;
   const std::string marker = "pprox-lint:";
   std::size_t pos = line.find(marker);
   if (pos == std::string::npos) return rules;
@@ -66,6 +110,24 @@ std::set<std::string> suppressions_on(const std::string& line) {
   std::istringstream iss(inside);
   std::string rule;
   while (iss >> rule) rules.insert(rule);
+  if (bare != nullptr && !rules.empty()) {
+    // Require ": <nonempty reason>" after the closing parenthesis.
+    std::size_t after = end + 1;
+    while (after < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+      ++after;
+    }
+    if (after >= line.size() || line[after] != ':') {
+      *bare = true;
+    } else {
+      ++after;
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+        ++after;
+      }
+      if (after >= line.size()) *bare = true;
+    }
+  }
   return rules;
 }
 
@@ -133,6 +195,19 @@ bool has_call(const std::string& code, const std::string& name) {
         (pos >= 1 && code[pos - 1] == '.') ||
         (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
     if (start_ok && call && !member) return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+/// True when `code` references `name` as a whole identifier (any context).
+bool has_word(const std::string& code, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t after = pos + name.size();
+    const bool end_ok = after >= code.size() || !is_ident(code[after]);
+    if (start_ok && end_ok) return true;
     pos += name.size();
   }
   return false;
@@ -227,7 +302,113 @@ std::vector<std::string> key_decl_names(const std::string& code) {
   return names;
 }
 
-void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+// ---------------------------------------------------------------------------
+// Flow model: layers, domain symbol sets, and the include graph.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kKnownLayers = {
+    "ua", "ia", "client", "lrs", "shared", "attack", "vocab", "tooling"};
+
+/// Symbols whose presence means "this code touches cleartext USER identity".
+const std::vector<std::string> kUserPlaintextSyms = {
+    "UserDomain", "UserId", "recover_user", "de_pseudonymize_user"};
+
+/// Symbols whose presence means "this code touches cleartext ITEM identity"
+/// (the lrs declassifier is item-constrained, so it belongs here too).
+const std::vector<std::string> kItemPlaintextSyms = {
+    "ItemDomain", "ItemId", "recover_item", "de_pseudonymize_item",
+    "declassify_for_lrs"};
+
+/// Headers a UA-layer unit must never include (directly or transitively):
+/// they declare the IA's plaintext surface.
+const std::vector<std::string> kIaHeaders = {"pprox/logic_ia.hpp",
+                                             "pprox/logic.hpp"};
+/// Headers an IA-layer unit must never include.
+const std::vector<std::string> kUaHeaders = {"pprox/logic_ua.hpp",
+                                             "pprox/logic.hpp"};
+/// Headers an LRS unit must never include: everything that can name a
+/// cleartext identifier or drive the client side of the protocol.
+const std::vector<std::string> kLrsBannedHeaders = {
+    "pprox/logic.hpp",   "pprox/logic_ua.hpp", "pprox/logic_ia.hpp",
+    "pprox/client.hpp",  "pprox/pseudonymize.hpp"};
+
+/// Reads the file's layer marker from its first lines, or derives a default
+/// from the path. Markers look like a comment containing the scan tag
+/// followed by a layer name; only the first 40 lines are consulted so that
+/// string literals deeper in a file (this one, for instance) cannot
+/// self-classify it.
+std::string detect_layer(const fs::path& path,
+                         const std::vector<std::string>& raw,
+                         bool* from_marker) {
+  *from_marker = false;
+  const std::string tag = std::string("PPROX-") + "LAYER:";
+  for (std::size_t i = 0; i < raw.size() && i < 40; ++i) {
+    const std::size_t pos = raw[i].find(tag);
+    if (pos == std::string::npos) continue;
+    std::istringstream iss(raw[i].substr(pos + tag.size()));
+    std::string layer;
+    iss >> layer;
+    *from_marker = true;
+    return layer;
+  }
+  const std::string p = path.generic_string();
+  auto under = [&p](const char* dir) {
+    return p.find(dir) != std::string::npos;
+  };
+  if (under("src/lrs")) return "lrs";
+  if (under("src/attack")) return "attack";
+  if (under("tools") || under("tests") || under("bench") || under("examples")) {
+    return "tooling";
+  }
+  return "shared";  // src/common, src/crypto, src/pprox hosts, ...
+}
+
+/// Collects the #include "..." strings of a file (quoted form only — system
+/// headers carry no PProx layering information).
+std::vector<std::string> quoted_includes(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  for (const std::string& line : raw) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    const std::size_t inc = line.find("include", i);
+    if (inc == std::string::npos) continue;
+    const std::size_t open = line.find('"', inc);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back(line.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+/// All identifiers in `code` that start with the declassifier prefix.
+std::vector<std::string> decl_refs_on(const std::string& code) {
+  std::vector<std::string> refs;
+  const std::string prefix = std::string("declassify") + "_";
+  std::size_t pos = 0;
+  while ((pos = code.find(prefix, pos)) != std::string::npos) {
+    if (pos > 0 && is_ident(code[pos - 1])) {
+      pos += prefix.size();
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < code.size() && is_ident(code[end])) ++end;
+    refs.push_back(code.substr(pos, end - pos));
+    pos = end;
+  }
+  return refs;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan.
+// ---------------------------------------------------------------------------
+
+void scan_file(const fs::path& path, const Options& opts,
+               std::vector<Finding>& findings, std::vector<Unit>& units) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "pprox_lint: cannot read " << path << "\n";
@@ -238,16 +419,47 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
   while (std::getline(in, line)) raw.push_back(line);
   const std::vector<std::string> code = code_lines(raw);
 
+  const std::string generic = path.generic_string();
   const bool is_source = path.extension() == ".cpp";
+  bool from_marker = false;
+  const std::string layer = detect_layer(path, raw, &from_marker);
+
+  Unit unit;
+  unit.path = path.string();
+  unit.layer = layer;
+  unit.layer_from_marker = from_marker;
+  unit.includes = quoted_includes(raw);
+  units.push_back(unit);
+
+  if (opts.flow && kKnownLayers.count(layer) == 0) {
+    findings.push_back({path.string(), 1, "flow-layer",
+                        "unknown layer '" + layer +
+                            "' (expected ua, ia, client, lrs, shared, "
+                            "attack, vocab, or tooling)"});
+  }
+
+  const bool in_taint_core = generic.find("common/taint.hpp") != std::string::npos;
+  const bool in_test_tree = generic.find("tests/") != std::string::npos ||
+                            generic.find("bench/") != std::string::npos ||
+                            generic.find("examples/") != std::string::npos;
+
   int depth = 0;
   std::vector<KeyDecl> live_decls;
 
   for (std::size_t i = 0; i < code.size(); ++i) {
-    const std::set<std::string> allowed = suppressions_on(raw[i]);
+    bool bare = false;
+    const std::set<std::string> allowed = suppressions_on(raw[i], &bare);
     const auto report = [&](const std::string& rule, const std::string& msg) {
       if (allowed.count(rule) != 0) return;
       findings.push_back({path.string(), i + 1, rule, msg});
     };
+
+    // Rule: bare-suppression ---------------------------------------------
+    if (bare) {
+      report("bare-suppression",
+             "inline suppression without a justification; write "
+             "allow(<rule>): <why>");
+    }
 
     // Rule: rand --------------------------------------------------------
     for (const char* fn : {"rand", "srand", "rand_r", "random", "drand48"}) {
@@ -326,7 +538,266 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
         }
       }
     }
+
+    if (!opts.flow) continue;
+
+    // Rule: flow-layer (symbol references) ------------------------------
+    if (layer == "ua") {
+      for (const std::string& sym : kItemPlaintextSyms) {
+        if (has_word(code[i], sym)) {
+          report("flow-layer",
+                 "UA-layer unit references item-plaintext symbol '" + sym +
+                     "'; the User Anonymizer must never observe item "
+                     "identifiers (paper §4.2)");
+        }
+      }
+    } else if (layer == "ia") {
+      for (const std::string& sym : kUserPlaintextSyms) {
+        if (has_word(code[i], sym)) {
+          report("flow-layer",
+                 "IA-layer unit references user-plaintext symbol '" + sym +
+                     "'; the Item Anonymizer must never observe user "
+                     "identities (paper §4.2)");
+        }
+      }
+    } else if (layer == "shared") {
+      for (const std::string& sym : kUserPlaintextSyms) {
+        if (has_word(code[i], sym)) {
+          report("flow-layer",
+                 "shared unit references user-plaintext symbol '" + sym +
+                     "'; hosts move ciphertext only — route plaintext "
+                     "through a ua/ia/client-layer unit");
+        }
+      }
+      for (const std::string& sym : kItemPlaintextSyms) {
+        if (has_word(code[i], sym)) {
+          report("flow-layer",
+                 "shared unit references item-plaintext symbol '" + sym +
+                     "'; hosts move ciphertext only — route plaintext "
+                     "through a ua/ia/client-layer unit");
+        }
+      }
+      if (!decl_refs_on(code[i]).empty()) {
+        report("flow-layer",
+               "shared unit calls a declassifier; only ua/ia/client/vocab "
+               "units may release sensitive values");
+      }
+    } else if (layer == "lrs") {
+      for (const std::string& sym : kUserPlaintextSyms) {
+        if (has_word(code[i], sym)) {
+          report("flow-layer",
+                 "LRS unit references user-plaintext symbol '" + sym +
+                     "'; the LRS may only consume PseudonymDomain values");
+        }
+      }
+      for (const std::string& sym : kItemPlaintextSyms) {
+        if (has_word(code[i], sym)) {
+          report("flow-layer",
+                 "LRS unit references item-plaintext symbol '" + sym +
+                     "'; the LRS may only consume PseudonymDomain values");
+        }
+      }
+      if (!decl_refs_on(code[i]).empty()) {
+        report("flow-layer",
+               "LRS unit calls a declassifier; declassification happens "
+               "before data reaches the LRS, never inside it");
+      }
+    }
+
+    // Rules: flow-declassify / flow-test-declassify ----------------------
+    const std::vector<std::string> refs = decl_refs_on(code[i]);
+    if (!refs.empty()) {
+      // A justification must sit on the same line or within the preceding
+      // comment block (up to 6 raw lines — declarations and wrapped call
+      // expressions push the marker a few lines up).
+      const std::string just = std::string("PPROX-") + "DECLASSIFY:";
+      bool justified = raw[i].find(just) != std::string::npos;
+      for (std::size_t back = 1; !justified && back <= 6 && back <= i; ++back) {
+        justified = raw[i - back].find(just) != std::string::npos;
+      }
+      if (!justified) {
+        report("flow-declassify",
+               "declassify call site without a " + just +
+                   " justification comment (see DESIGN.md §8.4)");
+      }
+      for (const std::string& ref : refs) {
+        if (ref == "declassify_for_test" && !in_test_tree) {
+          report("flow-test-declassify",
+                 "declassify_for_test is a test-only escape hatch; src/ and "
+                 "tools/ must use a purpose-named declassifier");
+        }
+      }
+    }
+
+    // Rule: flow-internal ------------------------------------------------
+    if (!in_taint_core && has_word(code[i], "UnsafeRawAccess")) {
+      report("flow-internal",
+             "UnsafeRawAccess is reserved for common/taint.hpp; use a "
+             "declassify_* function or a taint:: combinator");
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU pass: transitive include bans over the scanned set.
+// ---------------------------------------------------------------------------
+
+/// True when `path` (generic form) ends with the include string `inc`.
+bool path_matches_include(const std::string& path, const std::string& inc) {
+  if (path.size() < inc.size()) return false;
+  if (path.compare(path.size() - inc.size(), inc.size(), inc) != 0) return false;
+  return path.size() == inc.size() || path[path.size() - inc.size() - 1] == '/';
+}
+
+/// Transitive closure of a unit's includes, resolved against the scanned
+/// set (includes leaving the scanned set terminate there — system headers
+/// and unscanned files carry no layering rules).
+std::set<std::string> reachable_includes(const Unit& start,
+                                         const std::vector<Unit>& units) {
+  std::set<std::string> seen;  // include strings
+  std::vector<std::string> frontier = start.includes;
+  while (!frontier.empty()) {
+    const std::string inc = frontier.back();
+    frontier.pop_back();
+    if (!seen.insert(inc).second) continue;
+    for (const Unit& u : units) {
+      if (!path_matches_include(fs::path(u.path).generic_string(), inc)) continue;
+      for (const std::string& next : u.includes) frontier.push_back(next);
+    }
+  }
+  return seen;
+}
+
+void check_include_graph(const std::vector<Unit>& units,
+                         std::vector<Finding>& findings) {
+  for (const Unit& unit : units) {
+    const std::vector<std::string>* banned = nullptr;
+    const char* why = nullptr;
+    if (unit.layer == "ua") {
+      banned = &kIaHeaders;
+      why = "UA-layer unit reaches the IA plaintext surface via include";
+    } else if (unit.layer == "ia") {
+      banned = &kUaHeaders;
+      why = "IA-layer unit reaches the UA plaintext surface via include";
+    } else if (unit.layer == "lrs") {
+      banned = &kLrsBannedHeaders;
+      why = "LRS unit reaches a cleartext-identifier header via include";
+    }
+    if (banned == nullptr) continue;
+    const std::set<std::string> reach = reachable_includes(unit, units);
+    for (const std::string& ban : *banned) {
+      if (reach.count(ban) != 0) {
+        findings.push_back({unit.path, 1, "flow-layer",
+                            std::string(why) + ": " + ban});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output & baseline.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> rule_totals(
+    const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> totals;
+  for (const Finding& f : findings) ++totals[f.rule];
+  return totals;
+}
+
+void print_json(const std::vector<Finding>& findings,
+                const std::vector<Unit>& units, const Options& opts) {
+  const auto totals = rule_totals(findings);
+  std::cout << "{\n  \"files\": " << units.size() << ",\n  \"flow\": "
+            << (opts.flow ? "true" : "false") << ",\n  \"total\": "
+            << findings.size() << ",\n  \"totals\": {";
+  bool first = true;
+  for (const auto& [rule, count] : totals) {
+    std::cout << (first ? "" : ", ") << "\"" << rule << "\": " << count;
+    first = false;
+  }
+  std::cout << "},\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    std::cout << (first ? "" : ",") << "\n    {\"path\": \""
+              << json_escape(f.path) << "\", \"line\": " << f.line
+              << ", \"rule\": \"" << f.rule << "\", \"message\": \""
+              << json_escape(f.message) << "\"}";
+    first = false;
+  }
+  std::cout << (first ? "" : "\n  ") << "],\n  \"units\": [";
+  first = true;
+  for (const Unit& u : units) {
+    std::cout << (first ? "" : ",") << "\n    {\"path\": \""
+              << json_escape(u.path) << "\", \"layer\": \"" << u.layer
+              << "\", \"marker\": " << (u.layer_from_marker ? "true" : "false")
+              << ", \"includes\": [";
+    bool f2 = true;
+    for (const std::string& inc : u.includes) {
+      std::cout << (f2 ? "" : ", ") << "\"" << json_escape(inc) << "\"";
+      f2 = false;
+    }
+    std::cout << "]}";
+    first = false;
+  }
+  std::cout << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+/// Parses the "totals" object of a baseline file (the lint's own --json
+/// output, or a hand-written {"totals": {"rule": N, ...}}). Deliberately
+/// tiny: scans `"name": number` pairs inside the totals braces.
+bool parse_baseline(const std::string& path,
+                    std::map<std::string, std::size_t>& totals) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::size_t anchor = text.find("\"totals\"");
+  if (anchor == std::string::npos) return false;
+  const std::size_t open = text.find('{', anchor);
+  const std::size_t close = text.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return false;
+  std::size_t pos = open + 1;
+  while (pos < close) {
+    const std::size_t q1 = text.find('"', pos);
+    if (q1 == std::string::npos || q1 >= close) break;
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 >= close) break;
+    const std::string rule = text.substr(q1 + 1, q2 - q1 - 1);
+    std::size_t num = text.find(':', q2);
+    if (num == std::string::npos || num >= close) break;
+    ++num;
+    while (num < close &&
+           std::isspace(static_cast<unsigned char>(text[num])) != 0) {
+      ++num;
+    }
+    std::size_t value = 0;
+    bool any = false;
+    while (num < close && std::isdigit(static_cast<unsigned char>(text[num]))) {
+      value = value * 10 + static_cast<std::size_t>(text[num] - '0');
+      ++num;
+      any = true;
+    }
+    if (!any) return false;
+    totals[rule] = value;
+    pos = num;
+  }
+  return true;
 }
 
 void collect(const fs::path& root, std::vector<fs::path>& files) {
@@ -353,35 +824,106 @@ void collect(const fs::path& root, std::vector<fs::path>& files) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<fs::path> files;
+  Options opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pprox_lint <dir-or-file>...\n"
-                   "rules: rand, memcmp, secure-wipe, secret-index\n"
-                   "suppress: // pprox-lint: allow(<rule>): <why>\n";
+      std::cout
+          << "usage: pprox_lint [--flow] [--json] [--baseline FILE] "
+             "<dir-or-file>...\n"
+             "crypto rules: rand, memcmp, secure-wipe, secret-index, "
+             "bare-suppression\n"
+             "flow rules (--flow): flow-layer, flow-declassify, "
+             "flow-test-declassify, flow-internal\n"
+             "suppress: // pprox-lint: allow(<rule>): <why>\n"
+             "--json prints findings, per-rule totals, and the per-unit "
+             "layer/include graph\n"
+             "--baseline compares per-rule totals against FILE and fails "
+             "only on regressions\n";
       return 0;
     }
-    collect(arg, files);
+    if (arg == "--flow") {
+      opts.flow = true;
+      continue;
+    }
+    if (arg == "--json") {
+      opts.json = true;
+      continue;
+    }
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "pprox_lint: --baseline needs a file argument\n";
+        return 2;
+      }
+      opts.baseline = argv[++i];
+      continue;
+    }
+    collect(arg, opts.inputs);
   }
-  if (files.empty()) {
+  if (opts.inputs.empty()) {
     std::cerr << "pprox_lint: no input files (pass src/crypto src/pprox)\n";
     return 2;
   }
-  std::sort(files.begin(), files.end());
+  std::sort(opts.inputs.begin(), opts.inputs.end());
 
   std::vector<Finding> findings;
-  for (const fs::path& f : files) scan_file(f, findings);
+  std::vector<Unit> units;
+  for (const fs::path& f : opts.inputs) scan_file(f, opts, findings, units);
+  if (opts.flow) check_include_graph(units, findings);
 
-  for (const Finding& f : findings) {
-    std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.path, a.line) < std::tie(b.path, b.line);
+                   });
+
+  if (opts.json) {
+    print_json(findings, units, opts);
+  } else {
+    for (const Finding& f : findings) {
+      std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
   }
+
+  if (!opts.baseline.empty()) {
+    std::map<std::string, std::size_t> base;
+    if (!parse_baseline(opts.baseline, base)) {
+      std::cerr << "pprox_lint: cannot parse baseline " << opts.baseline
+                << "\n";
+      return 2;
+    }
+    const auto totals = rule_totals(findings);
+    bool regressed = false;
+    for (const auto& [rule, count] : totals) {
+      const std::size_t allowed_count =
+          base.count(rule) != 0 ? base.at(rule) : 0;
+      if (count > allowed_count) {
+        std::cerr << "pprox_lint: REGRESSION: rule '" << rule << "' has "
+                  << count << " finding(s), baseline allows " << allowed_count
+                  << "\n";
+        regressed = true;
+      } else if (count < allowed_count) {
+        std::cerr << "pprox_lint: note: rule '" << rule << "' improved to "
+                  << count << " (baseline " << allowed_count
+                  << ") — consider tightening the baseline\n";
+      }
+    }
+    if (regressed) return 1;
+    if (!opts.json) {
+      std::cout << "pprox_lint: " << units.size()
+                << " file(s) within baseline (" << findings.size()
+                << " finding(s))\n";
+    }
+    return 0;
+  }
+
   if (!findings.empty()) {
-    std::cerr << findings.size() << " finding(s) in " << files.size()
+    std::cerr << findings.size() << " finding(s) in " << units.size()
               << " file(s)\n";
     return 1;
   }
-  std::cout << "pprox_lint: " << files.size() << " file(s) clean\n";
+  if (!opts.json) {
+    std::cout << "pprox_lint: " << units.size() << " file(s) clean\n";
+  }
   return 0;
 }
