@@ -12,15 +12,21 @@
 # Usage:
 #   scripts/check.sh           # full gate (several minutes)
 #   scripts/check.sh --quick   # lint + compile-fail + ASan smoke
+#   scripts/check.sh --model   # pprox_check interleaving exploration only:
+#                              # normal build (models must pass) + selftest
+#                              # fault-injection build (models must fail)
 #
-# Build trees land in build-asan/ and build-tsan/ next to build/ and are
-# reused across runs (incremental). Exit status is nonzero on any failure.
+# Build trees land in build-asan/, build-tsan/, build-model/ and
+# build-model-selftest/ next to build/ and are reused across runs
+# (incremental). Exit status is nonzero on any failure.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 QUICK=0
+MODEL=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
+[[ "${1:-}" == "--model" ]] && MODEL=1
 
 # Abort on the first sanitizer report instead of limping on; TSan history
 # sized for the deep happens-before graphs of the pipeline tests.
@@ -29,6 +35,36 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:history_size=7"
 
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+if [[ "$MODEL" == 1 ]]; then
+  # Deterministic interleaving exploration (DESIGN.md §9). Two builds:
+  #
+  #   build-model           sync.hpp routes through the det scheduler; the
+  #                         four pprox_check models (shuffle, mpmc, pool,
+  #                         rotation) run bounded-exhaustive DFS and
+  #                         fixed-seed PCT and must all PASS.
+  #   build-model-selftest  additionally compiles the pre-fix bugs back in
+  #                         (-DPPROX_CHECK_SELFTEST). Every model test is
+  #                         WILL_FAIL: ctest passes only if pprox_check
+  #                         still FINDS every seeded bug. A green selftest
+  #                         proves the checker, not the code.
+  step "model: exhaustive + PCT exploration (bugs must be absent)"
+  cmake -B "$ROOT/build-model" -S "$ROOT" -DPPROX_MODEL_CHECK=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$ROOT/build-model" -j "$JOBS" --target pprox_check
+  ctest --test-dir "$ROOT/build-model" -R '^model_' \
+        --output-on-failure -j "$JOBS"
+
+  step "model selftest: fault injection (bugs must be FOUND)"
+  cmake -B "$ROOT/build-model-selftest" -S "$ROOT" -DPPROX_MODEL_CHECK=ON \
+        -DPPROX_CHECK_SELFTEST=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$ROOT/build-model-selftest" -j "$JOBS" --target pprox_check
+  ctest --test-dir "$ROOT/build-model-selftest" -R '^model_' \
+        --output-on-failure -j "$JOBS"
+
+  step "model gate PASSED"
+  exit 0
+fi
 
 configure_and_build() {
   local dir="$1" sanitize="$2"
@@ -46,8 +82,15 @@ configure_and_build build-asan "address;undefined" --target pprox_lint
 "$ROOT/build-asan/tools/pprox_lint" --flow "${LINT_SCOPE[@]}"
 "$ROOT/build-asan/tools/pprox_lint" --flow \
     --baseline "$ROOT/tools/lint_baseline.json" "${LINT_SCOPE[@]}"
+# raw-sync (and crypto rules) over the whole production tree: no raw std
+# sync primitive outside common/sync.hpp, or pprox_check cannot see it.
+"$ROOT/build-asan/tools/pprox_lint" "$ROOT/src"
 
 step "negative-compile suite (taint-domain violations must not build)"
+# Most cases drive the compiler directly (-fsyntax-only), but the
+# detthread_double_join pair is a negative-RUN case and needs its binaries.
+configure_and_build build-asan "address;undefined" \
+    --target cf_detthread_double_join_control cf_detthread_double_join_violation
 ctest --test-dir "$ROOT/build-asan" -R '^compile_fail_' \
       --output-on-failure -j "$JOBS"
 

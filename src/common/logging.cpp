@@ -1,15 +1,15 @@
 #include "common/logging.hpp"
 
-#include <atomic>
 #include <cstdio>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 
 namespace pprox {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_sink_mutex;
+Atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+Mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,7 +30,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LockGuard lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

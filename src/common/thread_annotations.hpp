@@ -50,3 +50,24 @@
 /// across condition-variable waits). Use sparingly and justify inline.
 #define PPROX_NO_THREAD_SAFETY_ANALYSIS \
   PPROX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Class is a capability (lockable type): pprox::Mutex itself.
+#define PPROX_CAPABILITY(x) PPROX_THREAD_ANNOTATION(capability(x))
+
+/// Class is an RAII holder of a capability: pprox::LockGuard/UniqueLock.
+#define PPROX_SCOPED_CAPABILITY PPROX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Function attempts the listed mutexes; holds them iff it returned `ret`.
+#define PPROX_TRY_ACQUIRE(ret, ...) \
+  PPROX_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Returns a reference to the named capability (for lock accessors).
+#define PPROX_RETURN_CAPABILITY(x) PPROX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function acquires the listed capabilities in shared (reader) mode.
+#define PPROX_ACQUIRE_SHARED(...) \
+  PPROX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases shared (reader) holds of the listed capabilities.
+#define PPROX_RELEASE_SHARED(...) \
+  PPROX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))

@@ -5,13 +5,14 @@
 // hand-off with natural backpressure when the proxy saturates).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <new>
 #include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "common/sync.hpp"
 
 namespace pprox::concurrent {
 
@@ -43,6 +44,23 @@ class MpmcQueue {
   bool try_push(const T& value) { return push_impl(value); }
 
   /// Attempts to dequeue; nullopt when the queue is empty.
+#ifdef PPROX_CHECK_SELFTEST
+  // Fault injection for pprox_check --model mpmc (tools/CMakeLists.txt): a
+  // broken dequeue that claims a slot with fetch_add BEFORE checking its
+  // sequence. A pop racing an in-flight push burns the slot and returns
+  // empty, so the pushed element is skipped forever — the history is not
+  // linearizable against the FIFO spec and the selftest build must FAIL.
+  std::optional<T> try_pop() {
+    const std::size_t pos = head_.fetch_add(1, std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+    if (seq != pos + 1) return std::nullopt;  // slot already consumed: lost
+    T value = std::move(cell->value);
+    cell->value = T();
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return value;
+  }
+#else
   std::optional<T> try_pop() {
     Cell* cell;
     std::size_t pos = head_.load(std::memory_order_relaxed);
@@ -67,6 +85,7 @@ class MpmcQueue {
     cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return value;
   }
+#endif  // PPROX_CHECK_SELFTEST
 
   /// Approximate size; exact only when quiescent.
   std::size_t approx_size() const {
@@ -104,14 +123,14 @@ class MpmcQueue {
   // T must be default-constructible and move-assignable; slots hold live
   // (possibly empty) objects, which sidesteps placement-new lifetime rules.
   struct alignas(64) Cell {
-    std::atomic<std::size_t> sequence;
+    Atomic<std::size_t> sequence;
     T value{};
   };
 
   std::unique_ptr<Cell[]> cells_;
   std::size_t mask_;
-  alignas(64) std::atomic<std::size_t> head_;
-  alignas(64) std::atomic<std::size_t> tail_;
+  alignas(64) Atomic<std::size_t> head_;
+  alignas(64) Atomic<std::size_t> tail_;
 };
 
 }  // namespace pprox::concurrent

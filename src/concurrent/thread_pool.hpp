@@ -3,13 +3,11 @@
 // packets, workers perform crypto and forwarding.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "concurrent/mpmc_queue.hpp"
 
@@ -23,7 +21,7 @@ class ThreadPool {
       : queue_(queue_capacity) {
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back(DetThread([this] { worker_loop(); }, "pool-worker"));
     }
   }
 
@@ -33,8 +31,39 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; spins briefly then sleeps when the queue is full.
-  /// Returns false after shutdown() (task is dropped).
+  /// Returns false after shutdown() (task is dropped). Every task accepted
+  /// (true returned) is guaranteed to execute before shutdown() completes.
+#ifdef PPROX_CHECK_SELFTEST
+  // Fault injection for pprox_check --model pool (tools/CMakeLists.txt):
+  // the pre-fix submit/shutdown pair, preserved verbatim. A submit() here
+  // can pass its stopping_ check, lose the CPU, and publish its task after
+  // shutdown() joined every worker — the task is accepted but never runs
+  // (tools/traces/pool_lost_task.txt). The selftest build must make the
+  // model FAIL on exactly this schedule.
   bool submit(std::function<void()> task) {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      pending_.fetch_add(1, std::memory_order_acq_rel);
+      if (queue_.try_push(std::move(task))) {
+        LockGuard lock(mutex_);
+        cv_.notify_one();
+        return true;
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        LockGuard lock(mutex_);
+        drained_cv_.notify_all();
+      }
+      std::this_thread::yield();
+    }
+    return false;
+  }
+#else
+  bool submit(std::function<void()> task) {
+    // The in-flight gate lets shutdown() tell "no submit will ever publish
+    // again" apart from "no submit is publishing right now": a submit that
+    // passed its stopping_ check races shutdown() joining the workers, and
+    // its accepted task would otherwise sit in the queue forever.
+    in_flight_submits_.fetch_add(1, std::memory_order_acq_rel);
+    bool pushed = false;
     while (!stopping_.load(std::memory_order_acquire)) {
       // Count the task BEFORE publishing it: a worker may pop and finish it
       // the instant try_push succeeds, and its fetch_sub must never observe
@@ -42,39 +71,78 @@ class ThreadPool {
       // drain() return while work is still in flight).
       pending_.fetch_add(1, std::memory_order_acq_rel);
       if (queue_.try_push(std::move(task))) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         cv_.notify_one();
-        return true;
+        pushed = true;
+        break;
       }
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         drained_cv_.notify_all();
       }
       std::this_thread::yield();
     }
-    return false;
+    {
+      LockGuard lock(mutex_);
+      if (in_flight_submits_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        submit_done_cv_.notify_all();
+      }
+    }
+    return pushed;
   }
+#endif
 
   /// Blocks until every submitted task has finished executing.
   void drain() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     drained_cv_.wait(lock, [this] {
       return pending_.load(std::memory_order_acquire) == 0;
     });
   }
 
   /// Stops accepting tasks, finishes queued work, joins all workers.
+#ifdef PPROX_CHECK_SELFTEST
   void shutdown() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       cv_.notify_all();
     }
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
   }
+#else
+  void shutdown() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) return;
+    {
+      LockGuard lock(mutex_);
+      cv_.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    // A submit() that passed its stopping_ check before the CAS above may
+    // publish its task only after every worker exited. Wait for such
+    // stragglers to land, then run whatever is left inline so "accepted
+    // implies executed" holds.
+    {
+      UniqueLock lock(mutex_);
+      submit_done_cv_.wait(lock, [this] {
+        return in_flight_submits_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    while (auto task = queue_.try_pop()) {
+      (*task)();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        LockGuard lock(mutex_);
+        drained_cv_.notify_all();
+      }
+    }
+  }
+#endif
 
   std::size_t num_threads() const { return workers_.size(); }
 
@@ -85,14 +153,20 @@ class ThreadPool {
       if (task.has_value()) {
         (*task)();
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> lock(mutex_);
+          LockGuard lock(mutex_);
           drained_cv_.notify_all();
         }
         continue;
       }
       if (stopping_.load(std::memory_order_acquire)) return;
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      // Untimed wait: every try_push success and shutdown() notifies under
+      // mutex_, and the predicate re-checks under mutex_, so no wakeup can
+      // be lost. (An earlier 1ms timed wait "covered" missed notifies by
+      // polling; under a worker-favouring schedule that polling loop never
+      // yields — pprox_check flagged it as an unbounded spin,
+      // tools/traces/pool_worker_spin.txt.)
+      UniqueLock lock(mutex_);
+      cv_.wait(lock, [this] {
         return stopping_.load(std::memory_order_acquire) ||
                queue_.approx_size() > 0;
       });
@@ -100,12 +174,14 @@ class ThreadPool {
   }
 
   MpmcQueue<std::function<void()>> queue_;  // lock-free, internally ordered
-  std::vector<std::thread> workers_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::size_t> pending_{0};
-  std::mutex mutex_;  // guards only the cv sleep/wake protocol
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
+  std::vector<DetThread> workers_;
+  Atomic<bool> stopping_{false};
+  Atomic<std::size_t> pending_{0};
+  Atomic<std::size_t> in_flight_submits_{0};
+  Mutex mutex_;  // guards only the cv sleep/wake protocol
+  CondVar cv_;
+  CondVar drained_cv_;
+  CondVar submit_done_cv_;  // shutdown() waits out straggling submit()s
 };
 
 }  // namespace pprox::concurrent

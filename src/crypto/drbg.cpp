@@ -67,7 +67,7 @@ Drbg::Drbg() {
 Drbg::Drbg(ByteView seed) { reseed(seed); }
 
 void Drbg::reseed(ByteView seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   // key' = SHA256(key || seed): mixes new entropy without discarding old.
   Bytes material(reinterpret_cast<const std::uint8_t*>(key_.data()),
                  reinterpret_cast<const std::uint8_t*>(key_.data()) + 32);
@@ -97,7 +97,7 @@ void Drbg::rekey_locked() {
 }
 
 void Drbg::fill(MutByteView out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (std::size_t i = 0; i < out.size(); ++i) {
     if (block_pos_ == 64) {
       if (bytes_since_rekey_ >= kRekeyInterval) rekey_locked();

@@ -4,9 +4,9 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 
 #include "common/bytes.hpp"
+#include "common/sync.hpp"
 #include "common/rand.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -37,7 +37,7 @@ class Drbg final : public RandomSource {
   void refill_locked() PPROX_REQUIRES(mutex_);
   void rekey_locked() PPROX_REQUIRES(mutex_);
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::array<std::uint32_t, 8> key_ PPROX_GUARDED_BY(mutex_){};
   std::array<std::uint32_t, 3> nonce_ PPROX_GUARDED_BY(mutex_){};
   std::uint32_t counter_ PPROX_GUARDED_BY(mutex_) = 0;

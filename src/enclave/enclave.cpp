@@ -35,26 +35,27 @@ Status Enclave::provision(ByteView encrypted) {
 
 Bytes Enclave::seal(ByteView data) const {
   // Sealing key binds platform and measurement: MRENCLAVE-policy sealing.
-  const Bytes key =
-      crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
+  Bytes key = crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
   const crypto::RandomIvCipher cipher(key);
   Bytes sealed = cipher.encrypt(data, enclave_rng_);
   // MAC over the ciphertext for integrity.
   Bytes mac = crypto::hmac_sha256(key, sealed);
+  secure_wipe(key);  // cipher holds its own key schedule
   append(sealed, mac);
   return sealed;
 }
 
 Result<Bytes> Enclave::unseal(ByteView sealed) const {
   if (sealed.size() < 48) return Error::crypto("unseal: blob too short");
-  const Bytes key =
-      crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
+  Bytes key = crypto::hmac_sha256(platform_seal_key_, measurement_.digest);
   const ByteView body = sealed.first(sealed.size() - 32);
   const ByteView mac = sealed.last(32);
   if (!crypto::ct_equal(crypto::hmac_sha256(key, body), mac)) {
+    secure_wipe(key);
     return Error::crypto("unseal: MAC mismatch");
   }
   const crypto::RandomIvCipher cipher(key);
+  secure_wipe(key);  // cipher holds its own key schedule
   return cipher.decrypt(body);
 }
 

@@ -14,13 +14,13 @@
 //      after which — the adversary may exfiltrate() the sealed secrets.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "common/sync.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
 #include "crypto/drbg.hpp"
@@ -100,8 +100,8 @@ class Enclave {
   Bytes platform_seal_key_;  // per-instance platform sealing root
   Bytes secrets_;
   bool provisioned_ = false;
-  mutable std::atomic<std::uint64_t> transitions_{0};
-  std::atomic<bool> breached_{false};
+  mutable Atomic<std::uint64_t> transitions_{0};
+  Atomic<bool> breached_{false};
   mutable crypto::Drbg enclave_rng_;
 };
 

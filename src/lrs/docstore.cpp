@@ -3,14 +3,14 @@
 namespace pprox::lrs {
 
 std::string Collection::upsert(std::string id, json::JsonValue doc) {
-  std::unique_lock lock(mutex_);
+  WriteLock lock(mutex_);
   if (id.empty()) id = "doc-" + std::to_string(next_id_++);
   docs_[id] = std::move(doc);
   return id;
 }
 
 std::optional<json::JsonValue> Collection::find_by_id(const std::string& id) const {
-  std::shared_lock lock(mutex_);
+  ReadLock lock(mutex_);
   const auto it = docs_.find(id);
   if (it == docs_.end()) return std::nullopt;
   return it->second;
@@ -18,7 +18,7 @@ std::optional<json::JsonValue> Collection::find_by_id(const std::string& id) con
 
 std::vector<json::JsonValue> Collection::find_by_field(
     const std::string& key, const std::string& value) const {
-  std::shared_lock lock(mutex_);
+  ReadLock lock(mutex_);
   std::vector<json::JsonValue> out;
   for (const auto& [id, doc] : docs_) {
     const json::JsonValue* field = doc.find(key);
@@ -31,39 +31,39 @@ std::vector<json::JsonValue> Collection::find_by_field(
 
 void Collection::scan(const std::function<void(const std::string&,
                                                const json::JsonValue&)>& fn) const {
-  std::shared_lock lock(mutex_);
+  ReadLock lock(mutex_);
   for (const auto& [id, doc] : docs_) fn(id, doc);
 }
 
 bool Collection::erase(const std::string& id) {
-  std::unique_lock lock(mutex_);
+  WriteLock lock(mutex_);
   return docs_.erase(id) > 0;
 }
 
 std::size_t Collection::size() const {
-  std::shared_lock lock(mutex_);
+  ReadLock lock(mutex_);
   return docs_.size();
 }
 
 void Collection::clear() {
-  std::unique_lock lock(mutex_);
+  WriteLock lock(mutex_);
   docs_.clear();
 }
 
 Collection& DocumentStore::collection(const std::string& name) {
   {
-    std::shared_lock lock(mutex_);
+    ReadLock lock(mutex_);
     const auto it = collections_.find(name);
     if (it != collections_.end()) return *it->second;
   }
-  std::unique_lock lock(mutex_);
+  WriteLock lock(mutex_);
   auto& slot = collections_[name];
   if (!slot) slot = std::make_unique<Collection>();
   return *slot;
 }
 
 std::vector<std::string> DocumentStore::collection_names() const {
-  std::shared_lock lock(mutex_);
+  ReadLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, c] : collections_) names.push_back(name);

@@ -4,12 +4,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "json/json.hpp"
 
 namespace pprox::lrs {
@@ -37,7 +36,7 @@ class Collection {
   void clear();
 
  private:
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
   std::map<std::string, json::JsonValue> docs_;
   std::uint64_t next_id_ = 1;
 };
@@ -49,7 +48,7 @@ class DocumentStore {
   std::vector<std::string> collection_names() const;
 
  private:
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
   std::map<std::string, std::unique_ptr<Collection>> collections_;
 };
 

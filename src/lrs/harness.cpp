@@ -44,7 +44,7 @@ http::HttpResponse HarnessServer::post_event(const std::string& user,
   if (!payload.empty()) doc.set("payload", payload);
   store_.collection("events").upsert("", std::move(doc));
   {
-    std::unique_lock lock(history_mutex_);
+    WriteLock lock(history_mutex_);
     auto& h = history_[user];
     if (std::find(h.begin(), h.end(), item) == h.end()) h.push_back(item);
   }
@@ -83,14 +83,14 @@ std::vector<HarnessServer::EventRow> HarnessServer::dump_event_rows() const {
 void HarnessServer::replace_all_events(const std::vector<EventRow>& rows) {
   store_.collection("events").clear();
   {
-    std::unique_lock lock(history_mutex_);
+    WriteLock lock(history_mutex_);
     history_.clear();
   }
   for (const auto& row : rows) post_event(row.user, row.item, row.payload);
 }
 
 std::vector<std::string> HarnessServer::user_history(const std::string& user) const {
-  std::shared_lock lock(history_mutex_);
+  ReadLock lock(history_mutex_);
   const auto it = history_.find(user);
   return it == history_.end() ? std::vector<std::string>{} : it->second;
 }

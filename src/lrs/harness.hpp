@@ -13,8 +13,7 @@
 // typed entry points below fails to compile (tests/compile_fail/).
 #pragma once
 
-#include <mutex>
-#include <shared_mutex>
+#include "common/sync.hpp"
 #include <unordered_map>
 
 #include "common/taint.hpp"
@@ -107,7 +106,7 @@ class HarnessServer final : public net::RequestSink {
   CcoTrainer trainer_;
   http::Router router_;
 
-  mutable std::shared_mutex history_mutex_;
+  mutable SharedMutex history_mutex_;
   std::unordered_map<std::string, std::vector<std::string>> history_;
 };
 

@@ -4,14 +4,14 @@ namespace pprox::lrs {
 
 TrainingScheduler::TrainingScheduler(HarnessServer& server, TrainingPolicy policy)
     : server_(&server), policy_(policy) {
-  thread_ = std::thread([this] { loop(); });
+  thread_ = DetThread([this] { loop(); }, "training");
 }
 
 TrainingScheduler::~TrainingScheduler() { stop(); }
 
 void TrainingScheduler::stop() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_.exchange(true)) return;
     cv_.notify_all();
   }
@@ -20,23 +20,23 @@ void TrainingScheduler::stop() {
 }
 
 void TrainingScheduler::trigger() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   trigger_requested_ = true;
   cv_.notify_all();
 }
 
 void TrainingScheduler::wait_for_next_run() {
   const std::uint64_t seen = runs_.load();
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   run_done_cv_.wait(lock, [this, seen] {
     return stopping_.load() || runs_.load() > seen;
   });
 }
 
 void TrainingScheduler::loop() {
-  using Clock = std::chrono::steady_clock;
+  using Clock = SteadyClock;
   constexpr std::chrono::milliseconds kPollSlice{20};
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   auto deadline = Clock::now() + policy_.interval;
   while (!stopping_.load()) {
     // Short waits so the event-count trigger reacts promptly: new events do

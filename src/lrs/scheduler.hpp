@@ -4,12 +4,9 @@
 // thread at a fixed cadence, or on demand when enough new feedback arrived.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
 
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "lrs/harness.hpp"
 
@@ -48,15 +45,15 @@ class TrainingScheduler {
 
   HarnessServer* server_;
   TrainingPolicy policy_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> runs_{0};
+  Atomic<bool> stopping_{false};
+  Atomic<std::uint64_t> runs_{0};
   std::size_t events_at_last_run_ PPROX_GUARDED_BY(mutex_) = 0;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable run_done_cv_;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar run_done_cv_;
   bool trigger_requested_ PPROX_GUARDED_BY(mutex_) = false;
-  std::thread thread_;
+  DetThread thread_;
 };
 
 }  // namespace pprox::lrs

@@ -15,7 +15,7 @@ void SearchIndex::replace_all(std::vector<IndexedItem> items) {
       next->postings[term].push_back({index, weight});
     }
   }
-  std::lock_guard lock(swap_mutex_);
+  LockGuard lock(swap_mutex_);
   next->generation = current_->generation + 1;
   current_ = std::move(next);
 }
@@ -23,7 +23,7 @@ void SearchIndex::replace_all(std::vector<IndexedItem> items) {
 std::shared_ptr<const SearchIndex::Snapshot> SearchIndex::snapshot() const {
   // Brief critical section: copy the shared_ptr; queries then run lock-free
   // against the immutable snapshot.
-  std::lock_guard lock(swap_mutex_);
+  LockGuard lock(swap_mutex_);
   return current_;
 }
 

@@ -5,10 +5,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace pprox::lrs {
 
@@ -56,7 +57,7 @@ class SearchIndex {
 
   std::shared_ptr<const Snapshot> snapshot() const;
 
-  mutable std::mutex swap_mutex_;
+  mutable Mutex swap_mutex_;
   std::shared_ptr<const Snapshot> current_ = std::make_shared<Snapshot>();
 };
 

@@ -4,12 +4,11 @@
 // event simulator (evaluation benches).
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "http/http.hpp"
 
@@ -81,7 +80,7 @@ class RoundRobinChannel final : public HttpChannel {
     const std::size_t i =
         next_.fetch_add(1, std::memory_order_relaxed) % backends_.size();
     {
-      std::lock_guard lock(stats_mutex_);
+      LockGuard lock(stats_mutex_);
       ++sent_[i];
     }
     backends_[i]->send(std::move(request), std::move(done));
@@ -92,14 +91,14 @@ class RoundRobinChannel final : public HttpChannel {
   /// Requests dispatched to backend `i` so far (load-spread checks in tests
   /// and the elasticity benches).
   std::uint64_t sent_to(std::size_t i) const PPROX_EXCLUDES(stats_mutex_) {
-    std::lock_guard lock(stats_mutex_);
+    LockGuard lock(stats_mutex_);
     return i < sent_.size() ? sent_[i] : 0;
   }
 
  private:
   std::vector<std::shared_ptr<HttpChannel>> backends_;  // fixed after ctor
-  std::atomic<std::size_t> next_{0};
-  mutable std::mutex stats_mutex_;
+  Atomic<std::size_t> next_{0};
+  mutable Mutex stats_mutex_;
   std::vector<std::uint64_t> sent_ PPROX_GUARDED_BY(stats_mutex_);
 };
 

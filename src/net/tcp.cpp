@@ -40,7 +40,7 @@ TcpServer::TcpServer(std::uint16_t port, RequestSink& sink) : sink_(&sink) {
   wev.data.u64 = UINT64_MAX;  // wake fd marker
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, completions_->wake_fd.get(), &wev);
 
-  thread_ = std::thread([this] { loop(); });
+  thread_ = DetThread([this] { loop(); }, "tcp-server");
 }
 
 TcpServer::~TcpServer() { stop(); }
@@ -58,7 +58,7 @@ void TcpServer::stop() {
 }
 
 std::size_t TcpServer::connection_count() const {
-  std::lock_guard<std::mutex> lock(conn_count_mutex_);
+  LockGuard lock(conn_count_mutex_);
   return conn_count_;
 }
 
@@ -107,7 +107,7 @@ void TcpServer::accept_new() {
     ev.data.u64 = id;
     ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn.fd.get(), &ev);
     connections_.emplace(id, std::move(conn));
-    std::lock_guard<std::mutex> lock(conn_count_mutex_);
+    LockGuard lock(conn_count_mutex_);
     conn_count_ = connections_.size();
   }
 }
@@ -152,7 +152,7 @@ void TcpServer::on_readable(std::uint64_t conn_id) {
 
 void TcpServer::CompletionQueue::post(Completion completion) {
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     items.push_back(std::move(completion));
   }
   const std::uint64_t one = 1;
@@ -162,7 +162,7 @@ void TcpServer::CompletionQueue::post(Completion completion) {
 void TcpServer::drain_completions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_->mutex);
+    LockGuard lock(completions_->mutex);
     batch.swap(completions_->items);
   }
   for (auto& completion : batch) {
@@ -216,7 +216,7 @@ void TcpServer::close_connection(std::uint64_t conn_id) {
   if (it == connections_.end()) return;
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd.get(), nullptr);
   connections_.erase(it);
-  std::lock_guard<std::mutex> lock(conn_count_mutex_);
+  LockGuard lock(conn_count_mutex_);
   conn_count_ = connections_.size();
 }
 
@@ -225,13 +225,13 @@ TcpChannel::TcpChannel(std::uint16_t port, std::size_t pool_size,
     : port_(port), request_timeout_(request_timeout) {
   workers_.reserve(pool_size);
   for (std::size_t i = 0; i < pool_size; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(DetThread([this] { worker_loop(); }, "tcp-client"));
   }
 }
 
 TcpChannel::~TcpChannel() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_.store(true);
     cv_.notify_all();
   }
@@ -241,7 +241,7 @@ TcpChannel::~TcpChannel() {
 }
 
 void TcpChannel::send(http::HttpRequest request, RespondFn done) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   jobs_.push_back({std::move(request), std::move(done)});
   cv_.notify_one();
 }
@@ -251,7 +251,7 @@ void TcpChannel::worker_loop() {
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      UniqueLock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_.load() || !jobs_.empty(); });
       if (jobs_.empty()) return;  // stopping
       job = std::move(jobs_.front());

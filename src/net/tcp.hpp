@@ -2,18 +2,15 @@
 // event-driven proxy server, §5) and a pooled blocking HTTP client channel.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/channel.hpp"
 #include "net/socket.hpp"
 
@@ -64,12 +61,12 @@ class TcpServer {
   Fd epoll_fd_;
   std::uint16_t port_ = 0;
   RequestSink* sink_;
-  std::thread thread_;
-  std::atomic<bool> stopping_{false};
+  DetThread thread_;
+  Atomic<bool> stopping_{false};
 
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_conn_id_ = 1;
-  mutable std::mutex conn_count_mutex_;
+  mutable Mutex conn_count_mutex_;
   std::size_t conn_count_ = 0;
 
   struct Completion {
@@ -84,7 +81,7 @@ class TcpServer {
   /// of writing into a destroyed server. The wake eventfd lives here so a
   /// late post never touches a closed descriptor either.
   struct CompletionQueue {
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<Completion> items;
     Fd wake_fd;  // eventfd
     void post(Completion completion);
@@ -118,11 +115,11 @@ class TcpChannel final : public HttpChannel {
 
   std::uint16_t port_;
   std::chrono::milliseconds request_timeout_;
-  std::atomic<bool> stopping_{false};
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Atomic<bool> stopping_{false};
+  Mutex mutex_;
+  CondVar cv_;
   std::deque<Job> jobs_;
-  std::vector<std::thread> workers_;
+  std::vector<DetThread> workers_;
 };
 
 }  // namespace pprox::net

@@ -74,21 +74,34 @@ void Deployment::build_layers(RandomSource& rng) {
 }
 
 Status Deployment::rotate(lrs::HarnessServer& lrs, RandomSource& rng) {
-  auto rotation = rotate_keys(keys_, lrs, rng, config_.rsa_bits);
-  if (!rotation.ok()) return rotation.error();
-  keys_ = std::move(rotation.value().new_keys);
-  client_params_ = keys_.client_params();
-
-  // Tear the old stack down (proxies before enclaves before balancers) and
-  // rebuild with fresh enclaves. Clients created before the rotation still
-  // hold the old entry channel; its weak references expire here, so their
+  // Tear the old stack down BEFORE touching keys or the store (proxies
+  // before enclaves before balancers). Destroying the proxies drains their
+  // worker pools, so once teardown returns no request is pseudonymizing
+  // under the retiring keys; clients created before the rotation still hold
+  // the old entry channel, whose weak references expire here, so their
   // sends get 503 "backend gone" rather than reaching freed proxies.
+  //
+  // The pre-fix ordering rotated the store first: a request in flight on a
+  // still-live old proxy could then write a retired-epoch pseudonym into
+  // the freshly rotated store — exactly the stale-key row the rotation
+  // exists to eliminate (pprox_check --model rotation;
+  // tools/traces/rotation_stale_key.txt).
   entry_.reset();
   ua_proxies_.clear();
   ia_balancer_.reset();
   ia_proxies_.clear();
   ua_enclaves_.clear();
   ia_enclaves_.clear();
+
+  auto rotation = rotate_keys(keys_, lrs, rng, config_.rsa_bits);
+  if (!rotation.ok()) {
+    // Store untouched (rotate_keys writes nothing back on failure): restore
+    // service under the old keys rather than staying dark.
+    build_layers(rng);
+    return rotation.error();
+  }
+  keys_ = std::move(rotation.value().new_keys);
+  client_params_ = keys_.client_params();
   build_layers(rng);
   ++key_epoch_;
   return Status::ok_status();

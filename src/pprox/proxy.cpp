@@ -6,14 +6,14 @@
 namespace pprox {
 
 std::uint64_t PendingStore::put(Bytes k_u) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t handle = next_++;
   pending_.emplace(handle, std::move(k_u));
   return handle;
 }
 
 Result<Bytes> PendingStore::take(std::uint64_t handle) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = pending_.find(handle);
   if (it == pending_.end()) {
     return Error::not_found("no pending state for handle");
@@ -24,7 +24,7 @@ Result<Bytes> PendingStore::take(std::uint64_t handle) {
 }
 
 std::size_t PendingStore::size() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return pending_.size();
 }
 

@@ -13,11 +13,11 @@
 // declassifier.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <memory>
 #include <unordered_map>
 
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "concurrent/thread_pool.hpp"
 #include "crypto/drbg.hpp"
@@ -40,7 +40,7 @@ class PendingStore {
   std::size_t size() const PPROX_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<std::uint64_t, Bytes> pending_ PPROX_GUARDED_BY(mutex_);
   std::uint64_t next_ PPROX_GUARDED_BY(mutex_) = 1;
 };
@@ -104,8 +104,8 @@ class ProxyServer final : public net::RequestSink {
   ShuffleQueue request_shuffle_;   ///< UA: outbound requests (to IA)
   ShuffleQueue response_shuffle_;  ///< IA: outbound responses (to UA)
 
-  std::atomic<std::uint64_t> requests_seen_{0};
-  std::atomic<std::uint64_t> errors_{0};
+  Atomic<std::uint64_t> requests_seen_{0};
+  Atomic<std::uint64_t> errors_{0};
 };
 
 }  // namespace pprox

@@ -9,7 +9,7 @@
 namespace pprox {
 
 void BreachMonitor::record(const std::string& id, double ecall_latency_ms) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Track& track = tracks_[id];
   if (track.baseline_count < baseline_samples_) {
     track.baseline_sum += ecall_latency_ms;
@@ -21,7 +21,7 @@ void BreachMonitor::record(const std::string& id, double ecall_latency_ms) {
 }
 
 double BreachMonitor::baseline_ms(const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = tracks_.find(id);
   if (it == tracks_.end() || it->second.baseline_count < baseline_samples_) {
     return 0;
@@ -30,7 +30,7 @@ double BreachMonitor::baseline_ms(const std::string& id) const {
 }
 
 bool BreachMonitor::attack_suspected(const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = tracks_.find(id);
   if (it == tracks_.end()) return false;
   const Track& track = it->second;

@@ -11,8 +11,8 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "lrs/harness.hpp"
 #include "pprox/keys.hpp"
@@ -52,7 +52,7 @@ class BreachMonitor {
   double factor_;
   std::size_t baseline_samples_;
   std::size_t window_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<std::string, Track> tracks_ PPROX_GUARDED_BY(mutex_);
 };
 

@@ -6,13 +6,13 @@ namespace pprox {
 ShuffleQueue::ShuffleQueue(int size, std::chrono::milliseconds timeout)
     : size_(size), timeout_(timeout) {
   if (size_ > 1) {
-    timer_ = std::thread([this] { timer_loop(); });
+    timer_ = DetThread([this] { timer_loop(); }, "shuffle-timer");
   }
 }
 
 ShuffleQueue::~ShuffleQueue() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
     cv_.notify_all();
   }
@@ -26,44 +26,63 @@ void ShuffleQueue::add(std::function<void()> release) {
     return;
   }
   std::vector<std::function<void()>> batch;
+  FlushInfo info{FlushReason::kSize, 0, {}, {}};
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     buffer_.push_back(std::move(release));
     if (static_cast<int>(buffer_.size()) >= size_) {
       batch.swap(buffer_);
       deadline_armed_ = false;
+      ++arm_generation_;
+      info = FlushInfo{FlushReason::kSize, batch.size(), deadline_,
+                       SteadyClock::now()};
     } else if (buffer_.size() == 1) {
-      deadline_ = std::chrono::steady_clock::now() + timeout_;
+      deadline_ = SteadyClock::now() + timeout_;
       deadline_armed_ = true;
+      ++arm_generation_;
       cv_.notify_all();
     }
   }
-  if (!batch.empty()) run_batch(std::move(batch));
+  if (!batch.empty()) run_batch(std::move(batch), info);
 }
 
 void ShuffleQueue::flush_now() {
   std::vector<std::function<void()>> batch;
+  FlushInfo info{FlushReason::kExplicit, 0, {}, {}};
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     batch.swap(buffer_);
     deadline_armed_ = false;
+    ++arm_generation_;
+    info = FlushInfo{FlushReason::kExplicit, batch.size(), deadline_,
+                     SteadyClock::now()};
   }
-  if (!batch.empty()) run_batch(std::move(batch));
+  if (!batch.empty()) run_batch(std::move(batch), info);
 }
 
 std::size_t ShuffleQueue::buffered() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return buffer_.size();
 }
 
-void ShuffleQueue::run_batch(std::vector<std::function<void()>> batch) {
+void ShuffleQueue::run_batch(std::vector<std::function<void()>> batch,
+                             const FlushInfo& info) {
+  if (observer_) observer_(info);
   shuffle(batch, rng_);
   flushes_.fetch_add(1, std::memory_order_relaxed);
   for (auto& action : batch) action();
 }
 
+#ifdef PPROX_CHECK_SELFTEST
+// Fault injection for pprox_check --model shuffle (tools/CMakeLists.txt):
+// the pre-fix timer loop, preserved verbatim. wait_until() snapshots
+// deadline_ once, so when a size-triggered flush disarms and a later add()
+// re-arms while the timer is parked, the timer still times out at the OLD
+// (earlier) deadline and flushes the successor batch before its delay bound
+// (tools/traces/shuffle_stale_deadline.txt). The selftest build must make
+// the model FAIL on exactly this schedule.
 void ShuffleQueue::timer_loop() {
-  std::unique_lock lock(mutex_);
+  UniqueLock lock(mutex_);
   while (!stopping_) {
     if (!deadline_armed_) {
       cv_.wait(lock, [this] { return stopping_ || deadline_armed_; });
@@ -78,10 +97,48 @@ void ShuffleQueue::timer_loop() {
     std::vector<std::function<void()>> batch;
     batch.swap(buffer_);
     deadline_armed_ = false;
+    ++arm_generation_;
+    const FlushInfo info{FlushReason::kTimer, batch.size(), deadline_,
+                         SteadyClock::now()};
     lock.unlock();
-    if (!batch.empty()) run_batch(std::move(batch));
+    if (!batch.empty()) run_batch(std::move(batch), info);
     lock.lock();
   }
 }
+#else
+void ShuffleQueue::timer_loop() {
+  UniqueLock lock(mutex_);
+  while (!stopping_) {
+    if (!deadline_armed_) {
+      cv_.wait(lock, [this] { return stopping_ || deadline_armed_; });
+      continue;
+    }
+    // A timeout may only flush the arming it waited on. The generation
+    // stamp distinguishes "this arming's deadline passed" from "the arming
+    // changed underneath the wait": without it, a size-flush + re-arm while
+    // the timer is parked leaves the wait bound to the retired (earlier)
+    // deadline, and the successor batch gets flushed before its delay bound
+    // (tools/traces/shuffle_stale_deadline.txt).
+    const std::uint64_t gen = arm_generation_;
+    const auto deadline = deadline_;
+    const bool changed = cv_.wait_until(lock, deadline, [this, gen] {
+      return stopping_ || !deadline_armed_ || arm_generation_ != gen;
+    });
+    if (changed || stopping_ || !deadline_armed_ || arm_generation_ != gen) {
+      continue;  // re-armed, flushed by size, or stopping
+    }
+    // This arming's deadline passed with its buffer still pending: flush.
+    std::vector<std::function<void()>> batch;
+    batch.swap(buffer_);
+    deadline_armed_ = false;
+    ++arm_generation_;
+    const FlushInfo info{FlushReason::kTimer, batch.size(), deadline,
+                         SteadyClock::now()};
+    lock.unlock();
+    if (!batch.empty()) run_batch(std::move(batch), info);
+    lock.lock();
+  }
+}
+#endif  // PPROX_CHECK_SELFTEST
 
 }  // namespace pprox

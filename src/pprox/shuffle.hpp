@@ -12,15 +12,12 @@
 // upstream — which the lint audits at that call site.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/rand.hpp"
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "crypto/drbg.hpp"
 
@@ -28,6 +25,20 @@ namespace pprox {
 
 class ShuffleQueue {
  public:
+  /// Why a batch was released. Observable via set_flush_observer so the
+  /// pprox_check shuffle model can verify "flush at exactly S or timer".
+  enum class FlushReason { kSize, kTimer, kExplicit };
+
+  /// Snapshot of one flush, taken under the queue lock at swap time.
+  struct FlushInfo {
+    FlushReason reason;
+    std::size_t batch_size;
+    /// Deadline of the arming epoch current at swap time (kTimer only).
+    SteadyClock::time_point deadline;
+    SteadyClock::time_point now;
+  };
+  using FlushObserver = std::function<void(const FlushInfo&)>;
+
   /// size <= 1 disables buffering (actions pass straight through).
   /// The timer bounds worst-case queuing delay under low traffic.
   ShuffleQueue(int size, std::chrono::milliseconds timeout);
@@ -35,6 +46,13 @@ class ShuffleQueue {
 
   ShuffleQueue(const ShuffleQueue&) = delete;
   ShuffleQueue& operator=(const ShuffleQueue&) = delete;
+
+  /// Test/model observer invoked (outside the lock, on the flushing thread)
+  /// for every non-empty batch, before its actions run. Set before any
+  /// concurrent use; not synchronized against in-flight flushes.
+  void set_flush_observer(FlushObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   /// Adds a release action. May synchronously flush (and run actions on the
   /// calling thread) when the buffer reaches S.
@@ -50,21 +68,25 @@ class ShuffleQueue {
 
  private:
   void timer_loop() PPROX_EXCLUDES(mutex_);
-  void run_batch(std::vector<std::function<void()>> batch)
-      PPROX_EXCLUDES(mutex_);
+  void run_batch(std::vector<std::function<void()>> batch,
+                 const FlushInfo& info) PPROX_EXCLUDES(mutex_);
 
   const int size_;
   const std::chrono::milliseconds timeout_;
   crypto::Drbg rng_;  // internally synchronized
+  FlushObserver observer_;  // set once before concurrent use
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable Mutex mutex_;
+  CondVar cv_;
   std::vector<std::function<void()>> buffer_ PPROX_GUARDED_BY(mutex_);
-  std::chrono::steady_clock::time_point deadline_ PPROX_GUARDED_BY(mutex_){};
+  SteadyClock::time_point deadline_ PPROX_GUARDED_BY(mutex_){};
   bool deadline_armed_ PPROX_GUARDED_BY(mutex_) = false;
+  // Bumped on every arm/disarm so the timer can tell a wake-up for the
+  // deadline it armed from a wake-up for a successor deadline.
+  std::uint64_t arm_generation_ PPROX_GUARDED_BY(mutex_) = 0;
   bool stopping_ PPROX_GUARDED_BY(mutex_) = false;
-  std::atomic<std::uint64_t> flushes_{0};  // read lock-free by flush_count()
-  std::thread timer_;
+  Atomic<std::uint64_t> flushes_{0};  // read lock-free by flush_count()
+  DetThread timer_;
 };
 
 }  // namespace pprox

@@ -71,27 +71,27 @@ TenantRegistry::TenantRegistry(TenantKeyring keyring)
     : keyring_(std::move(keyring)) {}
 
 void TenantRegistry::upsert(const std::string& tenant_id, LayerSecrets secrets) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   keyring_.tenants.insert_or_assign(tenant_id, std::move(secrets));
 }
 
 bool TenantRegistry::remove(const std::string& tenant_id) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return keyring_.tenants.erase(tenant_id) > 0;
 }
 
 bool TenantRegistry::contains(const std::string& tenant_id) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return keyring_.tenants.count(tenant_id) > 0;
 }
 
 std::size_t TenantRegistry::size() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return keyring_.tenants.size();
 }
 
 std::vector<std::string> TenantRegistry::tenant_ids() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> ids;
   ids.reserve(keyring_.tenants.size());
   for (const auto& [id, secrets] : keyring_.tenants) ids.push_back(id);
@@ -99,7 +99,7 @@ std::vector<std::string> TenantRegistry::tenant_ids() const {
 }
 
 TenantKeyring TenantRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return keyring_;
 }
 

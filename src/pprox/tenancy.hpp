@@ -10,10 +10,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "pprox/keys.hpp"
 
@@ -64,7 +64,7 @@ class TenantRegistry {
   TenantKeyring snapshot() const PPROX_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   TenantKeyring keyring_ PPROX_GUARDED_BY(mutex_);
 };
 

@@ -1,7 +1,8 @@
 #include "workload/injector.hpp"
 
-#include <condition_variable>
 #include <thread>
+
+#include "common/sync.hpp"
 
 namespace pprox::workload {
 
@@ -11,8 +12,8 @@ InjectionReport run_injection(
   using Clock = std::chrono::steady_clock;
   InjectionReport report;
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
+  Mutex mutex;
+  CondVar done_cv;
   std::size_t in_flight = 0;
   bool injecting = true;
 
@@ -32,7 +33,7 @@ InjectionReport run_injection(
     const auto sent_at = Clock::now();
     if (sent_at >= end) break;
     {
-      std::lock_guard lock(mutex);
+      LockGuard lock(mutex);
       ++report.injected;
       ++in_flight;
     }
@@ -40,7 +41,7 @@ InjectionReport run_injection(
       const auto now = Clock::now();
       const double latency_ms =
           std::chrono::duration<double, std::milli>(now - sent_at).count();
-      std::lock_guard lock(mutex);
+      LockGuard lock(mutex);
       ++report.completed;
       if (response.status < 200 || response.status >= 300) ++report.failed;
       if (sent_at >= measure_from && sent_at <= measure_to) {
@@ -51,7 +52,7 @@ InjectionReport run_injection(
     });
   }
 
-  std::unique_lock lock(mutex);
+  UniqueLock lock(mutex);
   injecting = false;
   // Drain: wait for stragglers (bounded so a wedged backend cannot hang us).
   done_cv.wait_for(lock, std::chrono::seconds(30),

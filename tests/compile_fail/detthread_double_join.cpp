@@ -1,0 +1,19 @@
+// PPROX-LAYER: tooling
+//
+// Negative-RUN case (this pair executes, unlike the -fsyntax-only cases):
+// joining a DetThread twice is a lifecycle bug — the second join() on a
+// std::thread is UB, and under -DPPROX_MODEL_CHECK it would corrupt the
+// scheduler's thread table. DetThread turns it into a deterministic
+// PPROX_SYNC_ASSERT ("DetThread joined twice") that _Exits with status 1,
+// which ctest inverts via WILL_FAIL. The control flavour runs the same
+// thread through the legal lifecycle and must exit 0.
+#include "common/sync.hpp"
+
+int main() {
+  pprox::DetThread worker([] {}, "cf-worker");
+  worker.join();
+#ifdef PPROX_VIOLATION
+  worker.join();  // second join: PPROX_SYNC_ASSERT exits 1
+#endif
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
+#include <latch>
 #include <map>
 #include <numeric>
 #include <thread>
@@ -133,12 +135,17 @@ TEST(ThreadPool, ExecutesAllTasks) {
 TEST(ThreadPool, DrainWaitsForSlowTasks) {
   ThreadPool pool(2);
   std::atomic<int> done{0};
+  // The gate holds all four tasks in flight until just before drain(), so
+  // drain() provably observes unfinished work — the old 20ms sleeps only
+  // made that likely, and wasted 40ms of wall clock doing it.
+  std::latch gate(1);
   for (int i = 0; i < 4; ++i) {
-    pool.submit([&done] {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.submit([&] {
+      gate.wait();
       done.fetch_add(1);
     });
   }
+  gate.count_down();
   pool.drain();
   EXPECT_EQ(done.load(), 4);
 }
@@ -161,32 +168,32 @@ TEST(ThreadPool, ShutdownIsIdempotent) {
 
 TEST(ThreadPool, TasksRunConcurrently) {
   ThreadPool pool(4);
-  std::atomic<int> running{0};
-  std::atomic<int> peak{0};
-  for (int i = 0; i < 8; ++i) {
+  // Two tasks rendezvous on a barrier: arrive_and_wait() can only return
+  // when both tasks are in flight at once, so completing the rendezvous IS
+  // the overlap proof. (The old version inferred overlap from 30ms sleeps
+  // lining up — slow, and false-negative under an unlucky scheduler.)
+  std::barrier rendezvous(2);
+  std::atomic<int> overlapped{0};
+  for (int i = 0; i < 2; ++i) {
     pool.submit([&] {
-      const int now = running.fetch_add(1) + 1;
-      int prev = peak.load();
-      while (prev < now && !peak.compare_exchange_weak(prev, now)) {
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(30));
-      running.fetch_sub(1);
+      rendezvous.arrive_and_wait();
+      overlapped.fetch_add(1);
     });
   }
   pool.drain();
-  EXPECT_GE(peak.load(), 2);
+  EXPECT_EQ(overlapped.load(), 2);
 }
 
 TEST(ThreadPool, SubmitFromWorkerThread) {
   ThreadPool pool(2, 64);
   std::atomic<int> counter{0};
-  std::atomic<bool> inner_submitted{false};
+  std::latch inner_submitted(1);
   pool.submit([&] {
     counter.fetch_add(1);
     pool.submit([&] { counter.fetch_add(1); });
-    inner_submitted.store(true);
+    inner_submitted.count_down();
   });
-  while (!inner_submitted.load()) std::this_thread::yield();
+  inner_submitted.wait();  // drain() may not see the inner task before this
   pool.drain();
   EXPECT_EQ(counter.load(), 2);
 }

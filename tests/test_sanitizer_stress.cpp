@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <barrier>
+#include <condition_variable>
+#include <latch>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -129,47 +132,77 @@ TEST(SanitizerStress, ThreadPoolDrainRacesSubmit) {
 TEST(SanitizerStress, ShuffleQueueConcurrentAddAndFlush) {
   constexpr int kAdders = 4;
   constexpr int kPerAdder = 800;
+  constexpr int kTotal = kAdders * kPerAdder;
   ShuffleQueue shuffle(8, std::chrono::milliseconds(1));
   std::atomic<int> released{0};
+  std::latch all_released(kTotal);
   std::vector<std::thread> threads;
   for (int a = 0; a < kAdders; ++a) {
     threads.emplace_back([&] {
       for (int i = 0; i < kPerAdder; ++i) {
-        shuffle.add([&released] { released.fetch_add(1); });
+        shuffle.add([&] {
+          released.fetch_add(1);
+          all_released.count_down();
+        });
         if (i % 97 == 0) shuffle.flush_now();
       }
     });
   }
+  std::atomic<bool> adders_done{false};
   std::thread flusher([&] {
-    for (int i = 0; i < 50; ++i) {
+    while (!adders_done.load()) {
       shuffle.flush_now();
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::this_thread::yield();
     }
   });
   for (auto& t : threads) t.join();
+  adders_done.store(true);
   flusher.join();
   shuffle.flush_now();
-  EXPECT_EQ(released.load(), kAdders * kPerAdder);
+  // A timer flush may still be mid-batch when flush_now() returns, so the
+  // count check can only follow the latch the actions themselves count
+  // down. (The old version slept and hoped; under load the in-flight timer
+  // batch made released lag the total.)
+  all_released.wait();
+  EXPECT_EQ(released.load(), kTotal);
   EXPECT_GE(shuffle.flush_count(), 1u);
   EXPECT_EQ(shuffle.buffered(), 0u);
 }
 
-// Timer-driven release with slow adders: the 1ms deadline fires between
-// adds, so the timer thread and adders race on the buffer continuously.
+// Timer-driven release racing the adder. The shuffle size (64) is never
+// reached between handshakes, so only the 1ms timer can release the batch:
+// every 16 adds the adder cv-waits until the timer has flushed everything
+// added so far. That forces a real timer/adder race each round without the
+// old "sleep 2ms and hope a timer fired" pacing, which flaked whenever the
+// final count was read while a timer batch was still executing.
 TEST(SanitizerStress, ShuffleQueueTimerRacesAdders) {
   ShuffleQueue shuffle(64, std::chrono::milliseconds(1));
   std::atomic<int> released{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;  // guarded by mu
+  const auto action = [&] {
+    released.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    ++done;
+    cv.notify_all();
+  };
   constexpr int kActions = 300;
   for (int i = 0; i < kActions; ++i) {
-    shuffle.add([&released] { released.fetch_add(1); });
-    if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    shuffle.add(action);
+    if (i % 16 == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == i + 1; });
+    }
   }
-  // Destructor flushes the remainder.
+  // Destructor flushes the remainder and joins the timer thread.
   {
     ShuffleQueue drain_on_exit(2, std::chrono::milliseconds(1));
-    drain_on_exit.add([&released] { released.fetch_add(1); });
+    drain_on_exit.add(action);
   }
   shuffle.flush_now();
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kActions + 1; });
   EXPECT_EQ(released.load(), kActions + 1);
 }
 

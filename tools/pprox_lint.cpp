@@ -54,6 +54,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <set>
@@ -84,12 +85,53 @@ struct Unit {
 struct Options {
   bool flow = false;
   bool json = false;
+  bool list_rules = false;
   std::string baseline;
   std::vector<fs::path> inputs;
 };
 
+/// Rule registry for --list-rules: name + one-line summary, kept next to the
+/// Options so adding a rule without listing it is hard to miss in review.
+struct RuleDoc {
+  const char* name;
+  const char* summary;
+};
+
+constexpr RuleDoc kRuleDocs[] = {
+    {"rand", "libc rand()/random() family is not a CSPRNG"},
+    {"memcmp", "memcmp on secrets leaks a matching-prefix timing signal"},
+    {"secure-wipe", "key-material locals must be secure_wipe()d before scope exit"},
+    {"secret-index", "data-dependent S-box lookups are a cache side channel"},
+    {"raw-sync",
+     "raw std sync primitives in src/ bypass common/sync.hpp and the "
+     "pprox_check scheduler"},
+    {"bare-suppression", "allow(<rule>) comments must carry a ': <why>'"},
+    {"flow-layer", "every file in flow scope declares a known layer"},
+    {"flow-declassify", "PPROX_DECLASSIFY needs an adjacent justification"},
+    {"flow-test-declassify", "test-only declassify macros stay out of src/"},
+    {"flow-internal", "cross-layer includes must respect the layering graph"},
+};
+
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` (a qualified name like "std::mutex") appears in `line`
+/// as a whole token: not preceded by an identifier character or ':' (so
+/// "mystd::mutex" and "::std::mutex"-via-alias tricks don't double-fire) and
+/// not followed by an identifier character (so "std::thread" does not match
+/// inside "std::this_thread").
+bool has_qualified(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool pre_ok =
+        pos == 0 || (!is_ident(line[pos - 1]) && line[pos - 1] != ':');
+    const std::size_t after = pos + token.size();
+    const bool post_ok = after >= line.size() || !is_ident(line[after]);
+    if (pre_ok && post_ok) return true;
+    pos += token.size();
+  }
+  return false;
 }
 
 /// Parses a suppression comment ("pprox-lint: allow(rule): why") out of a
@@ -477,6 +519,38 @@ void scan_file(const fs::path& path, const Options& opts,
              "keys/pseudonyms with pprox::crypto::ct_equal");
     }
 
+    // Rule: raw-sync ----------------------------------------------------
+    // Production code must route synchronization through common/sync.hpp
+    // (pprox::Mutex / CondVar / Atomic<T> / DetThread) so pprox_check can
+    // interpose on every schedule point under -DPPROX_MODEL_CHECK
+    // (DESIGN.md §9). Raw std primitives are invisible to the scheduler and
+    // silently shrink the explored interleaving space. Scope: src/ only —
+    // tests, benches, and tools may drive threads however they like — and
+    // the sync layer itself is exempt (it wraps these by definition).
+    if (generic.find("src/") != std::string::npos &&
+        generic.find("common/sync.hpp") == std::string::npos &&
+        generic.find("common/sync.cpp") == std::string::npos) {
+      static const char* const kRawSync[] = {
+          // Longer names first so the break below reports the exact token.
+          "std::recursive_timed_mutex", "std::recursive_mutex",
+          "std::timed_mutex", "std::shared_mutex",
+          "std::condition_variable_any", "std::condition_variable",
+          "std::atomic_flag", "std::atomic_ref", "std::atomic",
+          "std::mutex", "std::thread", "std::jthread",
+      };
+      for (const char* token : kRawSync) {
+        if (has_qualified(code[i], token)) {
+          report("raw-sync",
+                 std::string(token) +
+                     " bypasses the deterministic scheduler; use "
+                     "pprox::Mutex/CondVar/Atomic/DetThread from "
+                     "common/sync.hpp so pprox_check can explore this code "
+                     "(DESIGN.md §9)");
+          break;  // one finding per line, on the most specific token
+        }
+      }
+    }
+
     // Rule: secret-index ------------------------------------------------
     std::size_t pos = 0;
     while ((pos = code[i].find('[', pos)) != std::string::npos) {
@@ -830,17 +904,22 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: pprox_lint [--flow] [--json] [--baseline FILE] "
-             "<dir-or-file>...\n"
+             "[--list-rules] <dir-or-file>...\n"
              "crypto rules: rand, memcmp, secure-wipe, secret-index, "
-             "bare-suppression\n"
+             "raw-sync, bare-suppression\n"
              "flow rules (--flow): flow-layer, flow-declassify, "
              "flow-test-declassify, flow-internal\n"
              "suppress: // pprox-lint: allow(<rule>): <why>\n"
              "--json prints findings, per-rule totals, and the per-unit "
              "layer/include graph\n"
              "--baseline compares per-rule totals against FILE and fails "
-             "only on regressions\n";
+             "only on regressions\n"
+             "--list-rules prints the rule table and exits\n";
       return 0;
+    }
+    if (arg == "--list-rules") {
+      opts.list_rules = true;
+      continue;
     }
     if (arg == "--flow") {
       opts.flow = true;
@@ -859,6 +938,17 @@ int main(int argc, char** argv) {
       continue;
     }
     collect(arg, opts.inputs);
+  }
+  if (opts.list_rules) {
+    std::size_t width = 0;
+    for (const RuleDoc& doc : kRuleDocs) {
+      width = std::max(width, std::string(doc.name).size());
+    }
+    for (const RuleDoc& doc : kRuleDocs) {
+      std::cout << "  " << std::left << std::setw(static_cast<int>(width))
+                << doc.name << "  " << doc.summary << "\n";
+    }
+    return 0;
   }
   if (opts.inputs.empty()) {
     std::cerr << "pprox_lint: no input files (pass src/crypto src/pprox)\n";
