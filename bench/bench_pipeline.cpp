@@ -1,0 +1,132 @@
+// End-to-end proxy-pipeline benchmark: client -> UA -> IA -> LRS and back
+// over the in-process transport, measured per request. This is the number
+// the paper's Fig. 6 actually talks about — how much latency/throughput the
+// privacy proxies add on top of the LRS — and the macro counterpart to
+// bench_crypto's kernels: one post carries two RSA-OAEP encrypts (client),
+// two RSA private ops (proxies), deterministic AES pseudonymization and a
+// response-protection CTR pass, so the accelerated backend's kernel-level
+// wins show up here diluted by transport and JSON overhead.
+//
+// Like bench_crypto, every benchmark registers a /portable and an /accel
+// variant; scripts/bench_report.py turns the pair into BENCH_pipeline.json.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "common/encoding.hpp"
+#include "crypto/accel.hpp"
+#include "crypto/drbg.hpp"
+#include "lrs/harness.hpp"
+#include "pprox/deployment.hpp"
+
+namespace {
+
+using namespace pprox;
+
+/// One deployment per (backend, config) benchmark run. Constructed after
+/// the backend is pinned so RSA keygen and key provisioning also run on the
+/// measured path, but outside the timed loop either way.
+struct PipelineFixture {
+  explicit PipelineFixture(bool authenticated)
+      : rng(to_bytes("bench-pipeline")),
+        deployment(make_config(authenticated), lrs, rng),
+        client(deployment.make_client(&rng)) {}
+
+  static DeploymentConfig make_config(bool authenticated) {
+    DeploymentConfig config;
+    config.shuffle_size = 0;  // shuffling batches would hide per-op cost
+    config.authenticated_responses = authenticated;
+    return config;
+  }
+
+  void seed_and_train() {
+    for (const auto& [u, i] :
+         {std::pair<const char*, const char*>{"u1", "A"}, {"u1", "B"},
+          {"u2", "A"}, {"u2", "B"}, {"u3", "C"}, {"probe", "A"}}) {
+      if (!client.post_sync(u, i).ok()) std::abort();
+    }
+    lrs.train();
+  }
+
+  crypto::Drbg rng;
+  lrs::HarnessServer lrs;
+  Deployment deployment;
+  ClientLibrary client;
+};
+
+bool pin_backend(benchmark::State& state, crypto::accel::Backend backend) {
+  if (!crypto::accel::select_backend(backend)) {
+    state.SkipWithError("hardware acceleration unavailable on this CPU");
+    return false;
+  }
+  return true;
+}
+
+// Write path: one preference event through both proxies into the LRS.
+void BM_PipelinePost(benchmark::State& state, crypto::accel::Backend backend) {
+  if (!pin_backend(state, backend)) return;
+  PipelineFixture fx(/*authenticated=*/false);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const std::string user = "user-" + std::to_string(seq % 64);
+    const std::string item = "item-" + std::to_string(seq % 512);
+    ++seq;
+    const auto result = fx.client.post_sync(user, item);
+    if (!result.ok()) {
+      state.SkipWithError("post failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PipelinePost, portable, crypto::accel::Backend::kPortable)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelinePost, accel, crypto::accel::Backend::kAccelerated)
+    ->Unit(benchmark::kMillisecond);
+
+// Read path: recommendations for a trained user, response-protected with
+// the per-request key k_u (plain CTR here; GCM variant below).
+void BM_PipelineGet(benchmark::State& state, crypto::accel::Backend backend) {
+  if (!pin_backend(state, backend)) return;
+  PipelineFixture fx(/*authenticated=*/false);
+  fx.seed_and_train();
+  for (auto _ : state) {
+    const auto recs = fx.client.get_sync("probe");
+    if (!recs.ok() || recs.value().empty()) {
+      state.SkipWithError("get failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PipelineGet, portable, crypto::accel::Backend::kPortable)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, accel, crypto::accel::Backend::kAccelerated)
+    ->Unit(benchmark::kMillisecond);
+
+// Read path with AES-GCM response protection — adds a GHASH pass per
+// response block, so it leans on the CLMUL kernel too.
+void BM_PipelineGetAuthenticated(benchmark::State& state,
+                                 crypto::accel::Backend backend) {
+  if (!pin_backend(state, backend)) return;
+  PipelineFixture fx(/*authenticated=*/true);
+  fx.seed_and_train();
+  for (auto _ : state) {
+    const auto recs = fx.client.get_sync("probe");
+    if (!recs.ok() || recs.value().empty()) {
+      state.SkipWithError("get failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PipelineGetAuthenticated, portable,
+                  crypto::accel::Backend::kPortable)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGetAuthenticated, accel,
+                  crypto::accel::Backend::kAccelerated)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

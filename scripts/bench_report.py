@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Post-processes google-benchmark JSON into the repo's BENCH_*.json format.
+
+Usage: bench_report.py RAW_JSON OUT_JSON
+
+The raw file is a `--benchmark_format=json` dump. Benchmarks registered as
+<name>/portable[/args] and <name>/accel[/args] (BENCHMARK_CAPTURE pairs in
+bench_crypto.cpp / bench_pipeline.cpp) are matched up and reported side by
+side with their speedup, so the accelerated backend's win over the portable
+reference is a single committed number per kernel rather than something a
+reader has to divide by hand. Benchmarks without a backend tag pass through
+under "single".
+"""
+
+import json
+import re
+import sys
+
+
+def backend_split(name):
+    """Returns (base_name, backend) where backend is portable/accel/None."""
+    m = re.match(r"^(?P<fn>[^/]+)/(?P<backend>portable|accel)(?P<args>(/.*)?)$", name)
+    if not m:
+        return name, None
+    return m.group("fn") + m.group("args"), m.group("backend")
+
+
+def entry(bench):
+    out = {
+        "real_time_ns": bench.get("real_time"),
+        "cpu_time_ns": bench.get("cpu_time"),
+        "iterations": bench.get("iterations"),
+    }
+    for extra in ("bytes_per_second", "items_per_second"):
+        if extra in bench:
+            out[extra] = bench[extra]
+    if bench.get("error_occurred"):
+        out["error"] = bench.get("error_message", "unknown")
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+
+    context = raw.get("context", {})
+    report = {
+        "generated_by": "scripts/check.sh --bench (scripts/bench_report.py)",
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "benchmarks": {},
+        "speedups": {},
+    }
+
+    paired = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        base, backend = backend_split(bench["name"])
+        if backend is None:
+            report["benchmarks"].setdefault(base, {})["single"] = entry(bench)
+        else:
+            paired.setdefault(base, {})[backend] = entry(bench)
+
+    for base, sides in sorted(paired.items()):
+        report["benchmarks"][base] = sides
+        portable = sides.get("portable", {})
+        accel = sides.get("accel", {})
+        if (
+            portable.get("cpu_time_ns")
+            and accel.get("cpu_time_ns")
+            and "error" not in portable
+            and "error" not in accel
+        ):
+            report["speedups"][base] = round(
+                portable["cpu_time_ns"] / accel["cpu_time_ns"], 2
+            )
+
+    with open(sys.argv[2], "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for base, speedup in sorted(report["speedups"].items()):
+        print(f"  {base}: {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,17 @@
 #   scripts/check.sh --model   # pprox_check interleaving exploration only:
 #                              # normal build (models must pass) + selftest
 #                              # fault-injection build (models must fail)
+#   scripts/check.sh --bench   # machine-readable crypto + pipeline bench
+#                              # baseline: runs bench_crypto/bench_pipeline
+#                              # with --benchmark_format=json and writes
+#                              # BENCH_crypto.json / BENCH_pipeline.json at
+#                              # the repo root (portable vs accel speedups)
+#
+# Sanitizer and model-check stages run with PPROX_DISABLE_ACCEL=1: the
+# portable reference path is the one whose every byte ASan/UBSan/TSan can
+# instrument (intrinsics hide loads from the shadow), and tests that matter
+# for the accelerated kernels pin Backend::kAccelerated explicitly
+# (test_accel), which overrides the env var by design.
 #
 # Build trees land in build-asan/, build-tsan/, build-model/ and
 # build-model-selftest/ next to build/ and are reused across runs
@@ -25,8 +36,10 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 QUICK=0
 MODEL=0
+BENCH=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 [[ "${1:-}" == "--model" ]] && MODEL=1
+[[ "${1:-}" == "--bench" ]] && BENCH=1
 
 # Abort on the first sanitizer report instead of limping on; TSan history
 # sized for the deep happens-before graphs of the pipeline tests.
@@ -34,7 +47,39 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:abort_on_error=0"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:history_size=7"
 
+# Sanitized/model runs exercise the portable crypto reference; accelerated
+# kernels are covered by test_accel's explicit backend pinning (see header).
+[[ "$BENCH" == 0 ]] && export PPROX_DISABLE_ACCEL=1
+
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+if [[ "$BENCH" == 1 ]]; then
+  # Benchmark baseline (ISSUE: first BENCH_*.json). A Release tree so the
+  # numbers reflect the shipped optimization level, not RelWithDebInfo
+  # sanitizer scaffolding. Each binary runs both backend variants in one
+  # process (BENCHMARK_CAPTURE pins Backend::kPortable / kAccelerated), so
+  # the speedup column compares like with like on the same machine.
+  step "bench: crypto kernels (portable vs accelerated)"
+  cmake -B "$ROOT/build-bench" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$ROOT/build-bench" -j "$JOBS" \
+        --target bench_crypto bench_pipeline
+  "$ROOT/build-bench/bench/bench_crypto" \
+      --benchmark_format=json --benchmark_out_format=json \
+      --benchmark_out="$ROOT/build-bench/bench_crypto_raw.json" >/dev/null
+  python3 "$ROOT/scripts/bench_report.py" \
+      "$ROOT/build-bench/bench_crypto_raw.json" "$ROOT/BENCH_crypto.json"
+
+  step "bench: end-to-end proxy pipeline (portable vs accelerated)"
+  "$ROOT/build-bench/bench/bench_pipeline" \
+      --benchmark_format=json --benchmark_out_format=json \
+      --benchmark_out="$ROOT/build-bench/bench_pipeline_raw.json" >/dev/null
+  python3 "$ROOT/scripts/bench_report.py" \
+      "$ROOT/build-bench/bench_pipeline_raw.json" "$ROOT/BENCH_pipeline.json"
+
+  step "bench baseline written: BENCH_crypto.json, BENCH_pipeline.json"
+  exit 0
+fi
 
 if [[ "$MODEL" == 1 ]]; then
   # Deterministic interleaving exploration (DESIGN.md §9). Two builds:

@@ -12,6 +12,11 @@ namespace pprox::crypto {
 
 /// AES block cipher with a fixed key. Encrypt-only is enough for CTR mode,
 /// but the decrypt direction is provided for completeness and tests.
+///
+/// Block calls route through the runtime dispatch layer (accel.hpp): on
+/// AES-NI hardware the batch entry points run a pipelined 8x/4x kernel,
+/// otherwise the portable table-based reference. Both produce bit-identical
+/// output (test_accel cross-validates every path).
 class Aes {
  public:
   static constexpr std::size_t kBlockSize = 16;
@@ -20,6 +25,7 @@ class Aes {
   explicit Aes(ByteView key);
 
   std::size_t key_size() const { return key_size_; }
+  int rounds() const { return rounds_; }
 
   /// Encrypts one 16-byte block in place.
   void encrypt_block(std::uint8_t block[kBlockSize]) const;
@@ -27,11 +33,34 @@ class Aes {
   /// Decrypts one 16-byte block in place.
   void decrypt_block(std::uint8_t block[kBlockSize]) const;
 
+  /// Encrypts `nblocks` independent 16-byte blocks from `in` to `out` in one
+  /// dispatch call — the batch API CTR mode and GCM's CTR core feed so the
+  /// accelerated kernel can keep 8 blocks in flight. `in == out` is allowed;
+  /// partial overlap is not.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t nblocks) const;
+
+  /// Batch decryption counterpart (same aliasing rule).
+  void decrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t nblocks) const;
+
  private:
   std::size_t key_size_;
   int rounds_;
   // Max 15 round keys of 16 bytes for AES-256.
   std::array<std::uint8_t, 16 * 15> round_keys_{};
 };
+
+namespace detail {
+
+/// Portable single-block kernels over an expanded round-key schedule — the
+/// reference implementations the dispatch layer falls back to (and tests
+/// compare against). Not part of the public API.
+void aes_encrypt_block_portable(const std::uint8_t* rk, int rounds,
+                                std::uint8_t s[16]);
+void aes_decrypt_block_portable(const std::uint8_t* rk, int rounds,
+                                std::uint8_t s[16]);
+
+}  // namespace detail
 
 }  // namespace pprox::crypto

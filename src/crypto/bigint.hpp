@@ -63,8 +63,20 @@ class BigInt {
   BigInt operator/(const BigInt& o) const;
   BigInt operator%(const BigInt& o) const;
 
-  /// (this ^ exponent) mod modulus; modulus must be nonzero.
+  /// (this ^ exponent) mod modulus; modulus must be nonzero. Dispatches to
+  /// Montgomery multiplication with fixed-window exponentiation for odd
+  /// moduli (the RSA case) unless the portable backend is forced
+  /// (accel.hpp / PPROX_DISABLE_ACCEL); even moduli take the divmod path.
   BigInt modexp(const BigInt& exponent, const BigInt& modulus) const;
+
+  /// The original square-and-multiply over Knuth divmod reduction — the
+  /// reference path Montgomery is differentially tested against.
+  BigInt modexp_divmod(const BigInt& exponent, const BigInt& modulus) const;
+
+  /// Montgomery CIOS multiplication + 4-bit fixed-window exponentiation.
+  /// modulus must be odd and nonzero (throws std::domain_error otherwise).
+  /// Neither modexp path is constant-time; see DESIGN.md §10.
+  BigInt modexp_montgomery(const BigInt& exponent, const BigInt& modulus) const;
 
   static BigInt gcd(BigInt a, BigInt b);
 

@@ -1,0 +1,40 @@
+// PPROX-LAYER: shared
+//
+// CPUID probe. This is one of the two translation units allowed to touch
+// x86 intrinsics headers (the other is accel_x86.cpp); pprox_lint's
+// `intrinsics` containment rule enforces that boundary.
+#include "crypto/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>  // pprox-lint: allow(intrinsics): this TU is the CPUID probe
+#define PPROX_CPUID_AVAILABLE 1
+#endif
+
+namespace pprox::crypto {
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if defined(PPROX_CPUID_AVAILABLE)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    f.aesni = (ecx & (1u << 25)) != 0;
+    f.pclmul = (ecx & (1u << 1)) != 0;
+    f.ssse3 = (ecx & (1u << 9)) != 0;
+    f.sse41 = (ecx & (1u << 19)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace pprox::crypto

@@ -1,0 +1,23 @@
+// Runtime CPU feature detection for the crypto dispatch layer (accel.hpp).
+// Probed once via CPUID on x86; every field is false on other architectures,
+// so the dispatcher degrades to the portable reference implementations.
+#pragma once
+
+namespace pprox::crypto {
+
+/// Instruction-set extensions relevant to the crypto hot path. AES-NI and
+/// PCLMULQDQ operate on XMM state only, so no OS XSAVE handshake is needed
+/// beyond baseline SSE2 (guaranteed on x86-64). avx2 is reported for
+/// diagnostics but no kernel currently requires it.
+struct CpuFeatures {
+  bool aesni = false;   ///< AESENC/AESDEC round instructions
+  bool pclmul = false;  ///< carry-less multiply (GHASH)
+  bool ssse3 = false;   ///< PSHUFB byte shuffles (endianness swaps)
+  bool sse41 = false;   ///< PTEST and friends
+  bool avx2 = false;    ///< reported only; unused by current kernels
+};
+
+/// CPUID probe, executed once and cached for the process lifetime.
+const CpuFeatures& cpu_features();
+
+}  // namespace pprox::crypto

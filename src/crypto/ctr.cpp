@@ -6,29 +6,56 @@
 namespace pprox::crypto {
 namespace {
 
-// Big-endian increment of the 16-byte counter block.
-void increment_counter(std::uint8_t counter[16]) {
-  for (int i = 15; i >= 0; --i) {
-    if (++counter[i] != 0) break;
-  }
+// Keystream is produced kCtrBatch blocks at a time so the dispatch layer's
+// encrypt_blocks can keep a full AES-NI pipeline in flight (8 blocks hide
+// the AESENC latency); the portable backend just loops. Counter blocks are
+// materialized with 64-bit big-endian arithmetic — no per-block memcpy.
+constexpr std::size_t kCtrBatch = 8;
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
 }
 
 }  // namespace
 
+void ctr_crypt_inplace(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
+                       MutByteView data) {
+  // The counter is a 128-bit big-endian integer: hi:lo with carry from lo.
+  std::uint64_t hi = load_be64(iv.data());
+  std::uint64_t lo = load_be64(iv.data() + 8);
+  std::uint8_t counters[16 * kCtrBatch];
+  std::uint8_t keystream[16 * kCtrBatch];
+  for (std::size_t offset = 0; offset < data.size();
+       offset += 16 * kCtrBatch) {
+    const std::size_t remaining = data.size() - offset;
+    const std::size_t nblocks =
+        std::min<std::size_t>(kCtrBatch, (remaining + 15) / 16);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      store_be64(counters + 16 * b, hi);
+      store_be64(counters + 16 * b + 8, lo);
+      if (++lo == 0) ++hi;
+    }
+    cipher.encrypt_blocks(counters, keystream, nblocks);
+    const std::size_t n = std::min<std::size_t>(16 * nblocks, remaining);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
+  }
+  // Both buffers are key material: the keystream directly, the counter
+  // blocks because keystream = E_k(counter) pairs enable known-plaintext
+  // reconstruction of the pad positions.
+  secure_wipe(MutByteView(counters, sizeof(counters)));
+  secure_wipe(MutByteView(keystream, sizeof(keystream)));
+}
+
 Bytes ctr_crypt(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
                 ByteView data) {
   Bytes out(data.begin(), data.end());
-  std::uint8_t counter[16];
-  std::memcpy(counter, iv.data(), 16);
-  std::uint8_t keystream[16];
-  for (std::size_t offset = 0; offset < out.size(); offset += 16) {
-    std::memcpy(keystream, counter, 16);
-    cipher.encrypt_block(keystream);
-    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
-    increment_counter(counter);
-  }
-  secure_wipe(MutByteView(keystream, 16));
+  ctr_crypt_inplace(cipher, iv, MutByteView(out.data(), out.size()));
   return out;
 }
 
@@ -56,11 +83,11 @@ RandomIvCipher::RandomIvCipher(ByteView key) : aes_(key) {
 Bytes RandomIvCipher::encrypt(ByteView plaintext, RandomSource& rng) const {
   std::array<std::uint8_t, 16> iv;
   rng.fill(MutByteView(iv.data(), iv.size()));
-  Bytes body = ctr_crypt(aes_, iv, plaintext);
   Bytes out;
-  out.reserve(16 + body.size());
+  out.reserve(16 + plaintext.size());
   out.insert(out.end(), iv.begin(), iv.end());
-  out.insert(out.end(), body.begin(), body.end());
+  out.insert(out.end(), plaintext.begin(), plaintext.end());
+  ctr_crypt_inplace(aes_, iv, MutByteView(out.data() + 16, plaintext.size()));
   return out;
 }
 

@@ -15,9 +15,15 @@
 namespace pprox::crypto {
 
 /// Raw CTR keystream application: out = data XOR AES-CTR(key, iv).
-/// Encrypt and decrypt are the same operation.
+/// Encrypt and decrypt are the same operation. Keystream generation is
+/// batched through Aes::encrypt_blocks so the dispatch layer (accel.hpp)
+/// can pipeline 8 blocks on AES-NI hardware.
 Bytes ctr_crypt(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
                 ByteView data);
+
+/// In-place variant: XORs the keystream into `data` without the copy.
+void ctr_crypt_inplace(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
+                       MutByteView data);
 
 /// Deterministic symmetric encryption: AES-256-CTR with an all-zero IV.
 /// Encrypting equal plaintexts yields equal ciphertexts, which lets the LRS

@@ -2,17 +2,25 @@
 
 #include <cstring>
 
+#include "crypto/accel.hpp"
 #include "crypto/ct.hpp"
 
 namespace pprox::crypto {
 namespace {
 
-// Increments the low 32 bits of a counter block (big-endian), as GCM's CTR
-// variant requires.
-void inc32(std::uint8_t block[16]) {
-  for (int i = 15; i >= 12; --i) {
-    if (++block[i] != 0) break;
-  }
+// GCM's CTR core runs the low 32 bits of the counter block big-endian;
+// keystream generation is batched kGcmBatch blocks per dispatch call so the
+// AES-NI backend can pipeline (mirrors ctr.cpp's kCtrBatch).
+constexpr std::size_t kGcmBatch = 8;
+
+void put_u32_be(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | in[i];
+  return v;
 }
 
 void put_u64_be(std::uint8_t* out, std::uint64_t v) {
@@ -22,6 +30,10 @@ void put_u64_be(std::uint8_t* out, std::uint64_t v) {
 }  // namespace
 
 void gf128_mul(std::uint8_t x[16], const std::uint8_t y[16]) {
+  accel::ghash_ops().gf128_mul(x, y);
+}
+
+void gf128_mul_portable(std::uint8_t x[16], const std::uint8_t y[16]) {
   // Bitwise multiply in GF(2^128) with the GCM polynomial
   // x^128 + x^7 + x^2 + x + 1; "rightmost" bit convention per SP 800-38D.
   // Branch-free: both operands derive from the hash key H, so neither the
@@ -73,19 +85,31 @@ AesGcm::Block AesGcm::ghash(ByteView associated_data, ByteView ciphertext) const
 }
 
 void AesGcm::ctr32_crypt(const Block& j0, ByteView in, Bytes& out) const {
-  std::uint8_t counter[16];
-  std::memcpy(counter, j0.data(), 16);
-  std::uint8_t keystream[16];
-  for (std::size_t offset = 0; offset < in.size(); offset += 16) {
-    inc32(counter);
-    std::memcpy(keystream, counter, 16);
-    aes_.encrypt_block(keystream);
-    const std::size_t n = std::min<std::size_t>(16, in.size() - offset);
+  // First keystream block uses counter j0+1 (j0 itself masks the tag).
+  std::uint32_t ctr = get_u32_be(j0.data() + 12);
+  std::uint8_t counters[16 * kGcmBatch];
+  std::uint8_t keystream[16 * kGcmBatch];
+  for (std::size_t b = 0; b < kGcmBatch; ++b) {
+    std::memcpy(counters + 16 * b, j0.data(), 12);  // fixed nonce prefix
+  }
+  const std::size_t base = out.size();
+  out.resize(base + in.size());
+  for (std::size_t offset = 0; offset < in.size();
+       offset += 16 * kGcmBatch) {
+    const std::size_t remaining = in.size() - offset;
+    const std::size_t nblocks =
+        std::min<std::size_t>(kGcmBatch, (remaining + 15) / 16);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      put_u32_be(counters + 16 * b + 12, ++ctr);  // wraps mod 2^32 per spec
+    }
+    aes_.encrypt_blocks(counters, keystream, nblocks);
+    const std::size_t n = std::min<std::size_t>(16 * nblocks, remaining);
     for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(in[offset + i] ^ keystream[i]);
+      out[base + offset + i] = in[offset + i] ^ keystream[i];
     }
   }
-  secure_wipe(MutByteView(keystream, 16));
+  secure_wipe(MutByteView(counters, sizeof(counters)));
+  secure_wipe(MutByteView(keystream, sizeof(keystream)));
 }
 
 Bytes AesGcm::seal(const std::array<std::uint8_t, kNonceSize>& nonce,

@@ -48,7 +48,13 @@ class AesGcm {
   Block h_{};  // GHASH key: AES_K(0^128)
 };
 
-/// Carry-less GF(2^128) multiply used by GHASH (exposed for tests).
+/// GF(2^128) multiply used by GHASH (exposed for tests). Dispatches to the
+/// CLMUL kernel when the accelerated backend is active (accel.hpp).
 void gf128_mul(std::uint8_t x[16], const std::uint8_t y[16]);
+
+/// The branch-free bitwise reference implementation — the ground truth the
+/// CLMUL path is differentially tested against, and the accel layer's
+/// portable fallback.
+void gf128_mul_portable(std::uint8_t x[16], const std::uint8_t y[16]);
 
 }  // namespace pprox::crypto

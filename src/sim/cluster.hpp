@@ -7,6 +7,10 @@
 // CPU costs are *calibrated from real measurements* of this repository's own
 // crypto/JSON/HTTP code (bench_crypto, bench_json_http), scaled to the
 // paper's mobile-grade NUC cores; EXPERIMENTS.md records the mapping.
+// Calibration uses the ACCELERATED crypto backend (BENCH_crypto.json,
+// DESIGN.md §10) — the paper's SGX-SSL crypto is hardware-accelerated too,
+// and the accelerated RSA-2048 private op lands on rsa_decrypt_ms almost
+// exactly; portable-path timings overshoot ~6x and must not be used here.
 #pragma once
 
 #include <functional>

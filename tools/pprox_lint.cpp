@@ -102,6 +102,9 @@ constexpr RuleDoc kRuleDocs[] = {
     {"memcmp", "memcmp on secrets leaks a matching-prefix timing signal"},
     {"secure-wipe", "key-material locals must be secure_wipe()d before scope exit"},
     {"secret-index", "data-dependent S-box lookups are a cache side channel"},
+    {"intrinsics",
+     "CPU intrinsics in src/ stay inside the dispatch TUs "
+     "(crypto/accel_x86.cpp, crypto/cpu_features.cpp)"},
     {"raw-sync",
      "raw std sync primitives in src/ bypass common/sync.hpp and the "
      "pprox_check scheduler"},
@@ -290,16 +293,25 @@ struct KeyDecl {
   bool wiped = false;
 };
 
-bool name_is_key_material(std::string name) {
+bool name_is_key_material(std::string name, bool crypto_scope) {
   std::transform(name.begin(), name.end(), name.begin(),
                  [](unsigned char c) { return std::tolower(c); });
-  return name.find("key") != std::string::npos ||
-         name.find("secret") != std::string::npos;
+  if (name.find("key") != std::string::npos ||
+      name.find("secret") != std::string::npos) {
+    return true;
+  }
+  // In src/crypto/, CTR counter and keystream stack buffers are
+  // keystream-equivalent secrets: XORing a counter block's ciphertext with
+  // the ciphertext stream recovers plaintext, so they must be wiped too.
+  return crypto_scope && (name.find("counter") != std::string::npos ||
+                          name.find("keystream") != std::string::npos);
 }
 
 /// Finds `type name[` / `type name(;|=|{)` declarations of key-material
-/// locals. Very approximate by design: names must contain key/secret.
-std::vector<std::string> key_decl_names(const std::string& code) {
+/// locals. Very approximate by design: names must contain key/secret (plus
+/// counter/keystream when `crypto_scope`).
+std::vector<std::string> key_decl_names(const std::string& code,
+                                        bool crypto_scope) {
   static const std::vector<std::string> kTypes = {
       "std::uint8_t", "uint8_t", "unsigned char", "Bytes", "std::array"};
   std::vector<std::string> names;
@@ -335,7 +347,9 @@ std::vector<std::string> key_decl_names(const std::string& code) {
       const char next = code[i];
       const bool is_decl =
           next == '[' || next == ';' || next == '=' || next == '{' || next == '(';
-      if (is_decl && name_is_key_material(name)) names.push_back(name);
+      if (is_decl && name_is_key_material(name, crypto_scope)) {
+        names.push_back(name);
+      }
     }
   }
   // "uint8_t" also matches inside "std::uint8_t" — drop duplicate names.
@@ -480,6 +494,7 @@ void scan_file(const fs::path& path, const Options& opts,
                             "attack, vocab, or tooling)"});
   }
 
+  const bool in_crypto = generic.find("src/crypto/") != std::string::npos;
   const bool in_taint_core = generic.find("common/taint.hpp") != std::string::npos;
   const bool in_test_tree = generic.find("tests/") != std::string::npos ||
                             generic.find("bench/") != std::string::npos ||
@@ -551,6 +566,48 @@ void scan_file(const fs::path& path, const Options& opts,
       }
     }
 
+    // Rule: intrinsics ---------------------------------------------------
+    // Hardware intrinsics must stay inside the dispatch TUs: accel_x86.cpp
+    // (the kernels, the only TU built with -maes/-mpclmul) and
+    // cpu_features.cpp (the CPUID probe). Everything else in src/ stays
+    // portable C++, so non-x86 builds compile the same sources and the
+    // runtime dispatch in accel.cpp remains the single switch point.
+    if (generic.find("src/") != std::string::npos &&
+        generic.find("crypto/accel_x86.cpp") == std::string::npos &&
+        generic.find("crypto/cpu_features.cpp") == std::string::npos) {
+      static const char* const kIntrinsicHeaders[] = {
+          "immintrin.h", "wmmintrin.h", "emmintrin.h", "tmmintrin.h",
+          "smmintrin.h", "nmmintrin.h", "x86intrin.h", "cpuid.h",
+          "arm_neon.h",
+      };
+      if (code[i].find("#include") != std::string::npos) {
+        for (const char* hdr : kIntrinsicHeaders) {
+          if (code[i].find(hdr) != std::string::npos) {
+            report("intrinsics",
+                   std::string("#include <") + hdr +
+                       "> outside the dispatch TUs; hardware kernels belong "
+                       "in crypto/accel_x86.cpp behind the accel.hpp "
+                       "backend interface");
+            break;
+          }
+        }
+      }
+      static const char* const kIntrinsicTokens[] = {
+          "_mm_", "_mm256_", "__m128i", "__m256i", "__cpuid", "__get_cpuid",
+          "vaeseq_", "vmull_p64",
+      };
+      for (const char* token : kIntrinsicTokens) {
+        if (code[i].find(token) != std::string::npos) {
+          report("intrinsics",
+                 std::string("intrinsic token '") + token +
+                     "' outside the dispatch TUs; route hardware paths "
+                     "through crypto/accel.hpp so portable builds and "
+                     "PPROX_DISABLE_ACCEL keep working");
+          break;
+        }
+      }
+    }
+
     // Rule: secret-index ------------------------------------------------
     std::size_t pos = 0;
     while ((pos = code[i].find('[', pos)) != std::string::npos) {
@@ -582,7 +639,7 @@ void scan_file(const fs::path& path, const Options& opts,
 
     // Rule: secure-wipe (function locals in .cpp files only) ------------
     if (is_source) {
-      for (const std::string& name : key_decl_names(code[i])) {
+      for (const std::string& name : key_decl_names(code[i], in_crypto)) {
         if (allowed.count("secure-wipe") != 0) continue;
         live_decls.push_back({name, i + 1, depth + /*opens its scope*/ 0});
       }
@@ -906,7 +963,7 @@ int main(int argc, char** argv) {
           << "usage: pprox_lint [--flow] [--json] [--baseline FILE] "
              "[--list-rules] <dir-or-file>...\n"
              "crypto rules: rand, memcmp, secure-wipe, secret-index, "
-             "raw-sync, bare-suppression\n"
+             "intrinsics, raw-sync, bare-suppression\n"
              "flow rules (--flow): flow-layer, flow-declassify, "
              "flow-test-declassify, flow-internal\n"
              "suppress: // pprox-lint: allow(<rule>): <why>\n"
