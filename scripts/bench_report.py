@@ -2,6 +2,7 @@
 """Post-processes google-benchmark JSON into the repo's BENCH_*.json format.
 
 Usage: bench_report.py RAW_JSON OUT_JSON
+       bench_report.py --compare BASELINE_JSON NEW_JSON [--threshold FRAC]
 
 The raw file is a `--benchmark_format=json` dump. Benchmarks registered as
 <name>/portable[/args] and <name>/accel[/args] (BENCHMARK_CAPTURE pairs in
@@ -10,11 +11,73 @@ side with their speedup, so the accelerated backend's win over the portable
 reference is a single committed number per kernel rather than something a
 reader has to divide by hand. Benchmarks without a backend tag pass through
 under "single".
+
+--compare takes two files in the *processed* BENCH_*.json format (the
+committed baseline and a freshly generated report) and exits 1 if any
+benchmark's cpu time regressed by more than --threshold (default 0.15,
+i.e. 15% slower). Benchmarks present on only one side are reported but do
+not fail the gate: adding or retiring a benchmark is not a regression.
 """
 
 import json
 import re
 import sys
+
+
+def fmt_time(ns):
+    """Human-readable duration for compare output (input in ns).
+
+    Committed baselines written before the time_unit fix carry ms-scale
+    values in *_ns fields; the adaptive format at least prints them with
+    visible digits instead of rounding to 0ns.
+    """
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if abs(ns) >= div:
+            return f"{ns / div:.3g}{unit}"
+    return f"{ns:.3g}ns"
+
+
+def compare(baseline_path, new_path, threshold):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(new_path) as f:
+        new = json.load(f)
+
+    base_b = base.get("benchmarks", {})
+    new_b = new.get("benchmarks", {})
+    regressions = []
+    improvements = 0
+    compared = 0
+
+    for name in sorted(base_b):
+        if name not in new_b:
+            print(f"  {name}: only in baseline (retired?)")
+            continue
+        for backend in sorted(base_b[name]):
+            old_e = base_b[name][backend]
+            new_e = new_b[name].get(backend)
+            if new_e is None or "error" in old_e or "error" in new_e:
+                continue
+            old_t = old_e.get("cpu_time_ns")
+            new_t = new_e.get("cpu_time_ns")
+            if not old_t or not new_t:
+                continue
+            compared += 1
+            ratio = new_t / old_t  # >1 means slower
+            label = f"{name}/{backend}"
+            if ratio > 1 + threshold:
+                regressions.append((label, ratio))
+                print(f"  REGRESSION {label}: {fmt_time(old_t)} -> "
+                      f"{fmt_time(new_t)} ({(ratio - 1) * 100:+.1f}%)")
+            elif ratio < 1:
+                improvements += 1
+
+    for name in sorted(set(new_b) - set(base_b)):
+        print(f"  {name}: new benchmark (no baseline)")
+
+    print(f"  compared {compared} series: {len(regressions)} regression(s) "
+          f"beyond {threshold * 100:.0f}%, {improvements} improved")
+    return 1 if regressions else 0
 
 
 def backend_split(name):
@@ -25,10 +88,19 @@ def backend_split(name):
     return m.group("fn") + m.group("args"), m.group("backend")
 
 
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
 def entry(bench):
+    # google-benchmark reports real_time/cpu_time in the benchmark's
+    # time_unit (bench_pipeline uses ms); normalize to ns so the _ns field
+    # names are honest and --compare output is readable.
+    scale = TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+    real = bench.get("real_time")
+    cpu = bench.get("cpu_time")
     out = {
-        "real_time_ns": bench.get("real_time"),
-        "cpu_time_ns": bench.get("cpu_time"),
+        "real_time_ns": real * scale if real is not None else None,
+        "cpu_time_ns": cpu * scale if cpu is not None else None,
         "iterations": bench.get("iterations"),
     }
     for extra in ("bytes_per_second", "items_per_second"):
@@ -40,7 +112,27 @@ def entry(bench):
 
 
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--compare":
+        threshold = 0.15
+        rest = argv[1:]
+        if "--threshold" in rest:
+            i = rest.index("--threshold")
+            try:
+                threshold = float(rest[i + 1])
+            except (IndexError, ValueError):
+                sys.stderr.write("--threshold needs a fraction, e.g. 0.15\n")
+                return 2
+            rest = rest[:i] + rest[i + 2:]
+        if len(rest) != 2:
+            sys.stderr.write(__doc__)
+            return 2
+        try:
+            return compare(rest[0], rest[1], threshold)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.stderr.write(f"--compare: {e}\n")
+            return 2
+    if len(argv) != 2:
         sys.stderr.write(__doc__)
         return 2
     with open(sys.argv[1]) as f:

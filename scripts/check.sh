@@ -3,23 +3,33 @@
 #
 #   1. crypto-hygiene + information-flow lint (tools/pprox_lint --flow) over
 #      every layered directory, gated against tools/lint_baseline.json
-#   2. negative-compile suite (tests/compile_fail/): taint-domain violations
+#   2. hot-path discipline lint (tools/pprox_lint --hotpath) over the whole
+#      src/ tree, gated against tools/hotpath_baseline.json (DESIGN.md §11)
+#   3. negative-compile suite (tests/compile_fail/): taint-domain violations
 #      must fail to compile
-#   3. ASan + UBSan build, full ctest suite (leaks, overflows, UB)
-#   4. TSan build, concurrency-heavy tests (races in queue/pool/shuffler)
-#   5. clang-tidy (bugprone-*, concurrency-*, cert-msc50/51) when installed
+#   4. lint golden fixtures (tests/lint_fixtures/): analyzer behaviour pins
+#   5. ASan + UBSan build, full ctest suite (leaks, overflows, UB)
+#   6. TSan build, concurrency-heavy tests (races in queue/pool/shuffler)
+#   7. clang-tidy (bugprone-*, concurrency-*, performance-*) when installed
 #
 # Usage:
 #   scripts/check.sh           # full gate (several minutes)
-#   scripts/check.sh --quick   # lint + compile-fail + ASan smoke
+#   scripts/check.sh --quick   # lint + compile-fail + fixtures + ASan smoke
 #   scripts/check.sh --model   # pprox_check interleaving exploration only:
 #                              # normal build (models must pass) + selftest
 #                              # fault-injection build (models must fail)
-#   scripts/check.sh --bench   # machine-readable crypto + pipeline bench
-#                              # baseline: runs bench_crypto/bench_pipeline
-#                              # with --benchmark_format=json and writes
-#                              # BENCH_crypto.json / BENCH_pipeline.json at
-#                              # the repo root (portable vs accel speedups)
+#   scripts/check.sh --bench   # regression gate: run bench_crypto /
+#                              # bench_pipeline, compare against the
+#                              # committed BENCH_*.json via bench_report.py
+#                              # --compare; fails on > PPROX_BENCH_THRESHOLD
+#                              # (default 0.15 = 15%) cpu-time regression
+#   scripts/check.sh --bench-update
+#                              # rewrite BENCH_crypto.json / BENCH_pipeline.
+#                              # json at the repo root from a fresh run
+#   scripts/check.sh --tidy    # clang-tidy only (needs LLVM installed)
+#
+# Every stage is wall-clocked; a summary table prints at the end, and a
+# failure reports the stage it died in (fail-fast via ERR trap).
 #
 # Sanitizer and model-check stages run with PPROX_DISABLE_ACCEL=1: the
 # portable reference path is the one whose every byte ASan/UBSan/TSan can
@@ -27,19 +37,15 @@
 # for the accelerated kernels pin Backend::kAccelerated explicitly
 # (test_accel), which overrides the env var by design.
 #
-# Build trees land in build-asan/, build-tsan/, build-model/ and
-# build-model-selftest/ next to build/ and are reused across runs
+# Build trees land in build-asan/, build-tsan/, build-bench/, build-model/
+# and build-model-selftest/ next to build/ and are reused across runs
 # (incremental). Exit status is nonzero on any failure.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-QUICK=0
-MODEL=0
-BENCH=0
-[[ "${1:-}" == "--quick" ]] && QUICK=1
-[[ "${1:-}" == "--model" ]] && MODEL=1
-[[ "${1:-}" == "--bench" ]] && BENCH=1
+MODE="${1:-full}"
+BENCH_THRESHOLD="${PPROX_BENCH_THRESHOLD:-0.15}"
 
 # Abort on the first sanitizer report instead of limping on; TSan history
 # sized for the deep happens-before graphs of the pipeline tests.
@@ -49,39 +55,119 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:history_size=7"
 
 # Sanitized/model runs exercise the portable crypto reference; accelerated
 # kernels are covered by test_accel's explicit backend pinning (see header).
-[[ "$BENCH" == 0 ]] && export PPROX_DISABLE_ACCEL=1
+case "$MODE" in --bench|--bench-update) ;; *) export PPROX_DISABLE_ACCEL=1 ;; esac
 
-step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+# --- stage bookkeeping ------------------------------------------------------
+STAGE_NAMES=()
+STAGE_TIMES=()
+CURRENT_STAGE=""
+STAGE_T0=0
 
-if [[ "$BENCH" == 1 ]]; then
-  # Benchmark baseline (ISSUE: first BENCH_*.json). A Release tree so the
-  # numbers reflect the shipped optimization level, not RelWithDebInfo
-  # sanitizer scaffolding. Each binary runs both backend variants in one
-  # process (BENCHMARK_CAPTURE pins Backend::kPortable / kAccelerated), so
-  # the speedup column compares like with like on the same machine.
-  step "bench: crypto kernels (portable vs accelerated)"
+finish_stage() {
+  if [[ -n "$CURRENT_STAGE" ]]; then
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_TIMES+=("$(($(date +%s) - STAGE_T0))")
+    CURRENT_STAGE=""
+  fi
+}
+
+step() {
+  finish_stage
+  CURRENT_STAGE="$*"
+  STAGE_T0="$(date +%s)"
+  printf '\n\033[1m== %s ==\033[0m\n' "$*"
+}
+
+summary() {
+  finish_stage
+  printf '\n\033[1m%-55s %8s\033[0m\n' "stage" "seconds"
+  local i total=0
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '%-55s %8s\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+    total=$((total + STAGE_TIMES[i]))
+  done
+  printf '%-55s %8s\n' "total" "$total"
+}
+
+on_error() {
+  printf '\n\033[1;31mFAILED in stage: %s\033[0m\n' \
+    "${CURRENT_STAGE:-<setup>}" >&2
+  summary >&2 || true
+}
+trap on_error ERR
+
+configure_and_build() {
+  local dir="$1" sanitize="$2"
+  shift 2
+  cmake -B "$ROOT/$dir" -S "$ROOT" -DPPROX_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$ROOT/$dir" -j "$JOBS" "$@"
+}
+
+run_tidy() {
+  if command -v clang-tidy >/dev/null 2>&1; then
+    step "clang-tidy (bugprone-*, concurrency-*, performance-*)"
+    cmake -B "$ROOT/build-tidy" -S "$ROOT" \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # Sources only; headers are covered via HeaderFilterRegex in .clang-tidy.
+    find "$ROOT/src" "$ROOT/tools" -name '*.cpp' -print0 |
+      xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$ROOT/build-tidy" --quiet
+  else
+    step "clang-tidy not installed — skipped (install LLVM to enable)"
+  fi
+}
+
+run_bench() {
+  # A Release tree so the numbers reflect the shipped optimization level,
+  # not RelWithDebInfo sanitizer scaffolding. Each binary runs both backend
+  # variants in one process (BENCHMARK_CAPTURE pins Backend::kPortable /
+  # kAccelerated), so the speedup column compares like with like.
+  local update="$1"
+  step "bench: build + run crypto and pipeline benchmarks"
   cmake -B "$ROOT/build-bench" -S "$ROOT" \
         -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$ROOT/build-bench" -j "$JOBS" \
         --target bench_crypto bench_pipeline
-  "$ROOT/build-bench/bench/bench_crypto" \
-      --benchmark_format=json --benchmark_out_format=json \
-      --benchmark_out="$ROOT/build-bench/bench_crypto_raw.json" >/dev/null
-  python3 "$ROOT/scripts/bench_report.py" \
-      "$ROOT/build-bench/bench_crypto_raw.json" "$ROOT/BENCH_crypto.json"
+  local name
+  for name in crypto pipeline; do
+    "$ROOT/build-bench/bench/bench_$name" \
+        --benchmark_format=json --benchmark_out_format=json \
+        --benchmark_out="$ROOT/build-bench/bench_${name}_raw.json" >/dev/null
+    python3 "$ROOT/scripts/bench_report.py" \
+        "$ROOT/build-bench/bench_${name}_raw.json" \
+        "$ROOT/build-bench/BENCH_${name}.json"
+  done
 
-  step "bench: end-to-end proxy pipeline (portable vs accelerated)"
-  "$ROOT/build-bench/bench/bench_pipeline" \
-      --benchmark_format=json --benchmark_out_format=json \
-      --benchmark_out="$ROOT/build-bench/bench_pipeline_raw.json" >/dev/null
-  python3 "$ROOT/scripts/bench_report.py" \
-      "$ROOT/build-bench/bench_pipeline_raw.json" "$ROOT/BENCH_pipeline.json"
+  if [[ "$update" == 1 ]]; then
+    step "bench baseline update: BENCH_crypto.json, BENCH_pipeline.json"
+    cp "$ROOT/build-bench/BENCH_crypto.json" "$ROOT/BENCH_crypto.json"
+    cp "$ROOT/build-bench/BENCH_pipeline.json" "$ROOT/BENCH_pipeline.json"
+  else
+    step "bench regression gate (threshold ${BENCH_THRESHOLD})"
+    for name in crypto pipeline; do
+      echo "BENCH_${name}.json vs fresh run:"
+      python3 "$ROOT/scripts/bench_report.py" --compare \
+          "$ROOT/BENCH_${name}.json" "$ROOT/build-bench/BENCH_${name}.json" \
+          --threshold "$BENCH_THRESHOLD"
+    done
+  fi
+}
 
-  step "bench baseline written: BENCH_crypto.json, BENCH_pipeline.json"
+if [[ "$MODE" == "--tidy" ]]; then
+  run_tidy
+  step "tidy gate PASSED"
+  summary
   exit 0
 fi
 
-if [[ "$MODEL" == 1 ]]; then
+if [[ "$MODE" == "--bench" || "$MODE" == "--bench-update" ]]; then
+  run_bench "$([[ "$MODE" == "--bench-update" ]] && echo 1 || echo 0)"
+  step "bench gate PASSED"
+  summary
+  exit 0
+fi
+
+if [[ "$MODE" == "--model" ]]; then
   # Deterministic interleaving exploration (DESIGN.md §9). Two builds:
   #
   #   build-model           sync.hpp routes through the det scheduler; the
@@ -108,16 +194,9 @@ if [[ "$MODEL" == 1 ]]; then
         --output-on-failure -j "$JOBS"
 
   step "model gate PASSED"
+  summary
   exit 0
 fi
-
-configure_and_build() {
-  local dir="$1" sanitize="$2"
-  shift 2
-  cmake -B "$ROOT/$dir" -S "$ROOT" -DPPROX_SANITIZE="$sanitize" \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "$ROOT/$dir" -j "$JOBS" "$@"
-}
 
 LINT_SCOPE=("$ROOT/src/common" "$ROOT/src/crypto" "$ROOT/src/pprox"
             "$ROOT/src/lrs" "$ROOT/src/attack" "$ROOT/tools")
@@ -131,6 +210,10 @@ configure_and_build build-asan "address;undefined" --target pprox_lint
 # sync primitive outside common/sync.hpp, or pprox_check cannot see it.
 "$ROOT/build-asan/tools/pprox_lint" "$ROOT/src"
 
+step "hot-path discipline lint (pprox_lint --hotpath, DESIGN.md §11)"
+"$ROOT/build-asan/tools/pprox_lint" --hotpath \
+    --baseline "$ROOT/tools/hotpath_baseline.json" "$ROOT/src"
+
 step "negative-compile suite (taint-domain violations must not build)"
 # Most cases drive the compiler directly (-fsyntax-only), but the
 # detthread_double_join pair is a negative-RUN case and needs its binaries.
@@ -139,13 +222,18 @@ configure_and_build build-asan "address;undefined" \
 ctest --test-dir "$ROOT/build-asan" -R '^compile_fail_' \
       --output-on-failure -j "$JOBS"
 
-if [[ "$QUICK" == 1 ]]; then
+step "lint golden fixtures (hotpath + flow analyzer pins)"
+ctest --test-dir "$ROOT/build-asan" -R '^lint_fixture_' \
+      --output-on-failure -j "$JOBS"
+
+if [[ "$MODE" == "--quick" ]]; then
   step "ASan/UBSan smoke: test_concurrent + test_pipeline"
   configure_and_build build-asan "address;undefined" \
       --target test_concurrent test_pipeline
   ctest --test-dir "$ROOT/build-asan" -R 'test_(concurrent|pipeline)$' \
         --output-on-failure -j "$JOBS"
   step "quick gate PASSED"
+  summary
   exit 0
 fi
 
@@ -161,15 +249,7 @@ ctest --test-dir "$ROOT/build-tsan" \
       -R 'concurrent|pipeline|sanitizer_stress|shuffle|scheduler|tenancy' \
       --output-on-failure -j "$JOBS"
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  step "clang-tidy (bugprone-*, concurrency-*, cert-msc50/51)"
-  cmake -B "$ROOT/build-tidy" -S "$ROOT" \
-        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  # Sources only; headers are covered via HeaderFilterRegex in .clang-tidy.
-  find "$ROOT/src" "$ROOT/tools" -name '*.cpp' -print0 |
-    xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$ROOT/build-tidy" --quiet
-else
-  step "clang-tidy not installed — skipped (install LLVM to enable)"
-fi
+run_tidy
 
 step "full gate PASSED"
+summary

@@ -1,0 +1,49 @@
+// Hot-path discipline annotations (DESIGN.md §11).
+//
+// These macros mark functions whose reachable call graph must satisfy a
+// performance discipline, statically checked by `pprox_lint --hotpath`
+// (tools/pprox_lint_hotpath.cpp). The analyzer parses every TU under src/,
+// builds a best-effort function-level call graph, propagates effect labels
+// from leaf patterns, and reports the full offending call chain when an
+// annotated function can reach a forbidden effect:
+//
+//   PPROX_HOT             per-request path. Forbids reachable heap
+//                         allocation (new/malloc, growing containers,
+//                         std::string temporaries, std::function capture),
+//                         exception throws, and recursion cycles. Locks are
+//                         permitted (the paths are lock-light, not
+//                         lock-free) — combine with PPROX_NONBLOCKING where
+//                         they are not.
+//   PPROX_NONBLOCKING     forbids reachable blocking operations: mutex
+//                         acquisition, condvar waits, thread joins,
+//                         blocking syscalls (read/write/recv/send/poll/
+//                         accept/connect), and sleeps.
+//   PPROX_ECALL_BOUNDARY  enclave transition surface (ROADMAP item 3: no
+//                         allocation inside the enclave boundary). Forbids
+//                         reachable heap allocation and blocking
+//                         operations.
+//
+// Placement: immediately before the function declaration or definition
+// (`PPROX_HOT void on_readable(...);`). Annotating the declaration in the
+// header is enough — the analyzer merges declarations and definitions by
+// qualified name — but annotate the definition when there is no separate
+// declaration.
+//
+// Known violations that cannot be fixed yet are ratcheted in
+// tools/hotpath_baseline.json; point fixes are justified inline with
+//   ... // PPROX-HOTPATH-OK(alloc): buffer reserved at construction
+// (the reason after ':' is mandatory; see DESIGN.md §11.4).
+//
+// The macros deliberately expand to (almost) nothing: PPROX_HOT doubles as
+// the compiler's hot-function hint, the other two are markers for the
+// analyzer only.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PPROX_HOT [[gnu::hot]]
+#else
+#define PPROX_HOT
+#endif
+
+#define PPROX_NONBLOCKING
+#define PPROX_ECALL_BOUNDARY

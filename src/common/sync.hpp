@@ -389,14 +389,14 @@ class CondVar {
 
 #ifdef PPROX_MODEL_CHECK
 
-  void notify_one(PPROX_SYNC_LOC) {
+  void notify_one(PPROX_SYNC_LOC) {  // PPROX-HOTPATH-OK(recursion): ghost cycle — det::park wakes a std cv field that name-resolves to this wrapper; real notify never re-enters
     if (det::managed()) {
       det::cv_notify(&rec_, /*all=*/false, det::loc_of(sloc));
       return;
     }
     real_.notify_one();
   }
-  void notify_all(PPROX_SYNC_LOC) {
+  void notify_all(PPROX_SYNC_LOC) {  // PPROX-HOTPATH-OK(recursion): ghost cycle — det::park wakes a std cv field that name-resolves to this wrapper; real notify never re-enters
     if (det::managed()) {
       det::cv_notify(&rec_, /*all=*/true, det::loc_of(sloc));
       return;

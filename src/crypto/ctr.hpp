@@ -8,6 +8,7 @@
 #include <array>
 
 #include "common/bytes.hpp"
+#include "common/hotpath.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
 #include "crypto/aes.hpp"
@@ -18,12 +19,16 @@ namespace pprox::crypto {
 /// Encrypt and decrypt are the same operation. Keystream generation is
 /// batched through Aes::encrypt_blocks so the dispatch layer (accel.hpp)
 /// can pipeline 8 blocks on AES-NI hardware.
-Bytes ctr_crypt(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
-                ByteView data);
+PPROX_HOT Bytes ctr_crypt(const Aes& cipher,
+                          const std::array<std::uint8_t, 16>& iv,
+                          ByteView data);
 
 /// In-place variant: XORs the keystream into `data` without the copy.
-void ctr_crypt_inplace(const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
-                       MutByteView data);
+/// The batched kernel is the alloc-free, non-blocking form the request path
+/// should prefer (pprox_lint --hotpath enforces both properties here).
+PPROX_HOT PPROX_NONBLOCKING void ctr_crypt_inplace(
+    const Aes& cipher, const std::array<std::uint8_t, 16>& iv,
+    MutByteView data);
 
 /// Deterministic symmetric encryption: AES-256-CTR with an all-zero IV.
 /// Encrypting equal plaintexts yields equal ciphertexts, which lets the LRS
@@ -34,8 +39,8 @@ class DeterministicCipher {
   /// key must be 32 bytes (AES-256).
   explicit DeterministicCipher(ByteView key);
 
-  Bytes encrypt(ByteView plaintext) const;
-  Bytes decrypt(ByteView ciphertext) const;
+  PPROX_HOT Bytes encrypt(ByteView plaintext) const;
+  PPROX_HOT Bytes decrypt(ByteView ciphertext) const;
 
  private:
   Aes aes_;
@@ -48,10 +53,10 @@ class RandomIvCipher {
   explicit RandomIvCipher(ByteView key);
 
   /// Encrypts with a fresh IV drawn from `rng`; output = IV || ciphertext.
-  Bytes encrypt(ByteView plaintext, RandomSource& rng) const;
+  PPROX_HOT Bytes encrypt(ByteView plaintext, RandomSource& rng) const;
 
   /// Splits the IV off and decrypts. Fails if input is shorter than an IV.
-  Result<Bytes> decrypt(ByteView iv_and_ciphertext) const;
+  PPROX_HOT Result<Bytes> decrypt(ByteView iv_and_ciphertext) const;
 
  private:
   Aes aes_;

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "common/hotpath.hpp"
 #include "common/sync.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
@@ -64,8 +65,11 @@ class Enclave {
   /// Runs enclave code with access to the provisioned secrets. `fn` is
   /// invoked as fn(ByteView secrets); the transition is counted. Throws
   /// std::logic_error when not yet provisioned (programming error).
+  /// PPROX_ECALL_BOUNDARY: the transition itself must not allocate or block
+  /// (ROADMAP item 3) — the logic the callers run inside `fn` is checked at
+  /// their own annotations.
   template <typename Fn>
-  auto ecall(Fn&& fn) const -> decltype(fn(ByteView{})) {
+  PPROX_ECALL_BOUNDARY auto ecall(Fn&& fn) const -> decltype(fn(ByteView{})) {
     if (!provisioned_) throw std::logic_error("Enclave: ecall before provision");
     transitions_.fetch_add(1, std::memory_order_relaxed);
     return std::forward<Fn>(fn)(ByteView(secrets_));

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hotpath.hpp"
 #include "common/result.hpp"
 
 namespace pprox::http {
@@ -36,6 +37,9 @@ struct HttpRequest {
 
   /// Serializes with a correct Content-Length header.
   std::string serialize() const;
+  /// Appends the wire form to `out` without intermediate temporaries, so
+  /// callers on the request path can reuse one output buffer.
+  PPROX_HOT PPROX_NONBLOCKING void serialize_to(std::string& out) const;
 };
 
 struct HttpResponse {
@@ -49,6 +53,8 @@ struct HttpResponse {
   }
 
   std::string serialize() const;
+  /// Appends the wire form to `out` (see HttpRequest::serialize_to).
+  PPROX_HOT PPROX_NONBLOCKING void serialize_to(std::string& out) const;
 
   static HttpResponse json_response(int status, std::string body);
   static HttpResponse error_response(int status, std::string_view message);
@@ -63,7 +69,9 @@ class HttpParser {
   explicit HttpParser(Mode mode) : mode_(mode) {}
 
   /// Appends raw bytes from the stream.
-  void feed(std::string_view data) { buffer_.append(data); }
+  PPROX_HOT void feed(std::string_view data) {
+    buffer_.append(data);  // PPROX-HOTPATH-OK(alloc): parser buffer capacity is amortized across requests on the connection
+  }
 
   /// True once the stream is irrecoverably malformed.
   bool broken() const { return broken_; }

@@ -178,7 +178,9 @@ void TcpServer::drain_completions() {
 
 void TcpServer::flush_ready(std::uint64_t conn_id, Connection& conn) {
   while (!conn.pending.empty() && conn.pending.front().has_value()) {
-    conn.out_buffer += conn.pending.front()->serialize();
+    // Serialize straight into the connection's output buffer: the response
+    // bytes are written exactly once, with no per-response temporary.
+    conn.pending.front()->serialize_to(conn.out_buffer);
     conn.pending.pop_front();
     ++conn.first_slot;
   }
@@ -189,11 +191,12 @@ void TcpServer::on_writable(std::uint64_t conn_id) {
   auto it = connections_.find(conn_id);
   if (it == connections_.end()) return;
   Connection& conn = it->second;
-  while (!conn.out_buffer.empty()) {
-    const ssize_t n = ::send(conn.fd.get(), conn.out_buffer.data(),
-                             conn.out_buffer.size(), MSG_NOSIGNAL);
+  while (conn.unsent() != 0) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.out_buffer.data() + conn.out_offset,
+               conn.unsent(), MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_buffer.erase(0, static_cast<std::size_t>(n));
+      conn.out_offset += static_cast<std::size_t>(n);
     } else {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
@@ -201,12 +204,18 @@ void TcpServer::on_writable(std::uint64_t conn_id) {
       return;
     }
   }
+  if (conn.unsent() == 0) {
+    // Fully drained: reset the buffer (capacity is kept — the next response
+    // reuses the allocation) instead of memmoving a tail on every send.
+    conn.out_buffer.clear();
+    conn.out_offset = 0;
+  }
   update_epoll(conn_id, conn);
 }
 
 void TcpServer::update_epoll(std::uint64_t conn_id, Connection& conn) {
   epoll_event ev{};
-  ev.events = EPOLLIN | (conn.out_buffer.empty() ? 0 : EPOLLOUT);
+  ev.events = EPOLLIN | (conn.unsent() == 0 ? 0 : EPOLLOUT);
   ev.data.u64 = conn_id;
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
 }
@@ -247,7 +256,8 @@ void TcpChannel::send(http::HttpRequest request, RespondFn done) {
 }
 
 void TcpChannel::worker_loop() {
-  Fd conn;  // persistent connection, lazily opened
+  Fd conn;   // persistent connection, lazily opened
+  std::string wire;  // reusable request serialization buffer
   while (true) {
     Job job;
     {
@@ -257,12 +267,13 @@ void TcpChannel::worker_loop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
-    job.done(round_trip(conn, job.request));
+    job.done(round_trip(conn, job.request, wire));
   }
 }
 
 http::HttpResponse TcpChannel::round_trip(Fd& conn,
-                                          const http::HttpRequest& request) {
+                                          const http::HttpRequest& request,
+                                          std::string& wire) {
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + request_timeout_;
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -273,7 +284,9 @@ http::HttpResponse TcpChannel::round_trip(Fd& conn,
       }
       conn = std::move(c.value());
     }
-    if (!write_all(conn, request.serialize()).ok()) {
+    wire.clear();  // keeps the worker's capacity across requests
+    request.serialize_to(wire);
+    if (!write_all(conn, wire).ok()) {
       conn.reset();
       continue;  // stale connection: reconnect once
     }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/hotpath.hpp"
 #include "common/sync.hpp"
 #include "net/channel.hpp"
 #include "net/socket.hpp"
@@ -40,22 +41,33 @@ class TcpServer {
   struct Connection {
     Fd fd;
     http::HttpParser parser{http::HttpParser::Mode::kRequest};
+    // Responses are serialized directly into out_buffer (no per-response
+    // temporary); out_offset is the send cursor so partial writes do not
+    // memmove the unsent tail on every send().
     std::string out_buffer;
+    std::size_t out_offset = 0;
     // In-order response slots: HTTP/1.1 requires responses in request order.
     std::deque<std::optional<http::HttpResponse>> pending;
     std::uint64_t first_slot = 0;  // slot id of pending.front()
     std::uint64_t next_slot = 0;
     bool closing = false;
+
+    std::size_t unsent() const { return out_buffer.size() - out_offset; }
   };
 
   void loop();
   void accept_new();
-  void on_readable(std::uint64_t conn_id);
-  void on_writable(std::uint64_t conn_id);
-  void flush_ready(std::uint64_t conn_id, Connection& conn);
-  void drain_completions();
+  // The per-request epoll path: everything between "bytes arrived" and
+  // "response bytes queued" is PPROX_HOT — reachable allocations show up in
+  // pprox_lint --hotpath and must shrink, not grow (tools/
+  // hotpath_baseline.json).
+  PPROX_HOT void on_readable(std::uint64_t conn_id);
+  PPROX_HOT void on_writable(std::uint64_t conn_id);
+  PPROX_HOT void flush_ready(std::uint64_t conn_id, Connection& conn);
+  PPROX_HOT void drain_completions();
   void close_connection(std::uint64_t conn_id);
-  void update_epoll(std::uint64_t conn_id, Connection& conn);
+  PPROX_HOT PPROX_NONBLOCKING void update_epoll(std::uint64_t conn_id,
+                                                Connection& conn);
 
   Fd listen_fd_;
   Fd epoll_fd_;
@@ -111,7 +123,10 @@ class TcpChannel final : public HttpChannel {
 
   void worker_loop();
   /// One request/response over the persistent connection; reconnects once.
-  http::HttpResponse round_trip(Fd& conn, const http::HttpRequest& request);
+  /// `wire` is the worker's reusable serialization buffer (cleared here),
+  /// so steady-state round trips do not allocate for the request bytes.
+  http::HttpResponse round_trip(Fd& conn, const http::HttpRequest& request,
+                                std::string& wire);
 
   std::uint16_t port_;
   std::chrono::milliseconds request_timeout_;

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "common/hotpath.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
 #include "crypto/ctr.hpp"
@@ -28,23 +29,29 @@ class IaLogic {
   /// post: pseudonymizes the "item" field and decrypts the optional payload
   /// for the LRS. `pseudonymize_items = false` implements the §6.3 opt-out
   /// (item sent in the clear to the LRS).
-  Result<std::string> transform_post_request(std::string body,
-                                             bool pseudonymize_items = true) const;
+  /// PPROX_ECALL_BOUNDARY (here and on the other transforms): these run
+  /// inside ecalls, so per-request allocation is an enclave-boundary
+  /// violation (ROADMAP item 3); the current JSON/base64 round trips are
+  /// ratcheted in tools/hotpath_baseline.json until the batched-transition
+  /// arena lands.
+  PPROX_ECALL_BOUNDARY Result<std::string> transform_post_request(
+      std::string body, bool pseudonymize_items = true) const;
 
   struct GetRequest {
     std::string body;  ///< forwarded to the LRS (temporary key stripped)
     Bytes k_u;         ///< per-request response key, kept in the EPC store
   };
   /// get: recovers k_u and strips it from the forwarded call.
-  Result<GetRequest> transform_get_request(std::string body) const;
+  PPROX_ECALL_BOUNDARY Result<GetRequest> transform_get_request(
+      std::string body) const;
 
   /// get response: de-pseudonymizes the LRS item list, pads it to the
   /// constant length, and re-encrypts it under k_u for the client.
   /// `authenticated` selects AES-GCM (tamper-evident, +28 bytes) instead of
   /// the paper's plain AES-CTR; the response self-describes its mode.
-  Result<std::string> transform_get_response(const std::string& lrs_body,
-                                             ByteView k_u, RandomSource& rng,
-                                             bool authenticated = false) const;
+  PPROX_ECALL_BOUNDARY Result<std::string> transform_get_response(
+      const std::string& lrs_body, ByteView k_u, RandomSource& rng,
+      bool authenticated = false) const;
 
   /// Decrypts one pseudonymized item id. The result is item-domain tainted:
   /// callers must either keep it wrapped (the get-response path re-encrypts

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "common/hotpath.hpp"
 #include "common/result.hpp"
 #include "crypto/ctr.hpp"
 #include "pprox/keys.hpp"
@@ -26,7 +27,11 @@ class UaLogic {
   static Result<UaLogic> from_secrets(ByteView secrets_blob);
 
   /// Pseudonymizes the "user" field of a post or get body.
-  Result<std::string> transform_request(std::string body) const;
+  /// PPROX_ECALL_BOUNDARY: runs inside an ecall — per-request allocation
+  /// here is an enclave-boundary violation (ROADMAP item 3); today's JSON/
+  /// base64 round trips are ratcheted in tools/hotpath_baseline.json.
+  PPROX_ECALL_BOUNDARY Result<std::string> transform_request(
+      std::string body) const;
 
   /// Responses traverse the UA unchanged (encrypted under k_u or opaque).
   std::string transform_response(std::string body) const { return body; }

@@ -1,12 +1,26 @@
 // PPROX-LAYER: shared
 #include "pprox/message.hpp"
 
+#include <array>
 #include <cstring>
 
 #include "crypto/ct.hpp"
 #include "json/json.hpp"
 
 namespace pprox {
+
+const std::string& pad_item_name(std::size_t index) {
+  // The pseudo-item names are protocol constants: build them once instead of
+  // re-running std::to_string + concatenation for every padded response.
+  static const auto kNames = [] {
+    std::array<std::string, kMaxRecommendations> names;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      names[i] = kPadItemPrefix + std::to_string(i);  // PPROX-HOTPATH-OK(alloc): function-local static table, built once on first use, not per request
+    }
+    return names;
+  }();
+  return kNames[index % kMaxRecommendations];
+}
 
 Result<Bytes> pad_identifier(std::string_view id) {
   if (id.size() > kMaxIdLength) {
@@ -41,7 +55,7 @@ std::vector<std::string> pad_recommendations(std::vector<std::string> items) {
   if (items.size() > kMaxRecommendations) items.resize(kMaxRecommendations);
   std::size_t pad_index = 0;
   while (items.size() < kMaxRecommendations) {
-    items.push_back(kPadItemPrefix + std::to_string(pad_index++));
+    items.push_back(pad_item_name(pad_index++));
   }
   return items;
 }

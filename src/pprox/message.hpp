@@ -77,6 +77,10 @@ Result<Bytes> pad_identifier(std::string_view id);
 /// Inverse of pad_identifier.
 Result<std::string> unpad_identifier(ByteView block);
 
+/// The index-th padding pseudo-item name (a precomputed protocol constant;
+/// index is taken modulo kMaxRecommendations).
+const std::string& pad_item_name(std::size_t index);
+
 /// Pads a recommendation list to kMaxRecommendations with pseudo-items.
 std::vector<std::string> pad_recommendations(std::vector<std::string> items);
 
@@ -120,7 +124,7 @@ std::vector<taint::Sensitive<std::string, Domain>> pad_sensitive_recommendations
   if (items.size() > kMaxRecommendations) items.resize(kMaxRecommendations);
   std::size_t pad_index = 0;
   while (items.size() < kMaxRecommendations) {
-    items.emplace_back(kPadItemPrefix + std::to_string(pad_index++));
+    items.emplace_back(pad_item_name(pad_index++));
   }
   return items;
 }

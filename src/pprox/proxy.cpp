@@ -126,8 +126,9 @@ void ProxyServer::handle_ua(http::HttpRequest request, net::RespondFn done) {
     fail(done, 400, transformed.error().message);
     return;
   }
+  // No Content-Length rewrite here: serialize_to() recomputes it from the
+  // transformed body, so the std::to_string round trip was pure overhead.
   request.body = std::move(transformed.value());
-  request.set_header("Content-Length", std::to_string(request.body.size()));
 
   // Shuffle outbound requests towards the IA layer.
   request_shuffle_.add([this, request = std::move(request),
@@ -157,7 +158,6 @@ void ProxyServer::handle_ia(http::HttpRequest request, net::RespondFn done) {
       return;
     }
     request.body = std::move(transformed.value());
-    request.set_header("Content-Length", std::to_string(request.body.size()));
     next_->send(std::move(request),
                 [this, done = std::move(done)](http::HttpResponse response) {
                   // Post responses carry no payload worth hiding, but they
@@ -180,7 +180,6 @@ void ProxyServer::handle_ia(http::HttpRequest request, net::RespondFn done) {
   }
   const std::uint64_t handle = pending_.put(std::move(transformed.value().k_u));
   request.body = std::move(transformed.value().body);
-  request.set_header("Content-Length", std::to_string(request.body.size()));
 
   next_->send(std::move(request), [this, logic, handle, done = std::move(done)](
                                       http::HttpResponse response) mutable {

@@ -17,6 +17,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/hotpath.hpp"
 #include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "concurrent/thread_pool.hpp"
@@ -34,9 +35,9 @@ namespace pprox {
 /// for handling request responses"). Holds k_u for in-flight get calls.
 class PendingStore {
  public:
-  std::uint64_t put(Bytes k_u) PPROX_EXCLUDES(mutex_);
+  PPROX_HOT std::uint64_t put(Bytes k_u) PPROX_EXCLUDES(mutex_);
   /// Fetches and removes; empty result when the handle is unknown.
-  Result<Bytes> take(std::uint64_t handle) PPROX_EXCLUDES(mutex_);
+  PPROX_HOT Result<Bytes> take(std::uint64_t handle) PPROX_EXCLUDES(mutex_);
   std::size_t size() const PPROX_EXCLUDES(mutex_);
 
  private:
@@ -67,7 +68,7 @@ class ProxyServer final : public net::RequestSink {
               std::shared_ptr<net::HttpChannel> next);
   ~ProxyServer() override;
 
-  void handle(http::HttpRequest request, net::RespondFn done) override;
+  PPROX_HOT void handle(http::HttpRequest request, net::RespondFn done) override;
 
   /// Counters for tests/benches.
   std::uint64_t requests_seen() const { return requests_seen_.load(); }
@@ -80,8 +81,8 @@ class ProxyServer final : public net::RequestSink {
   std::size_t pending_responses() const { return pending_.size(); }
 
  private:
-  void handle_ua(http::HttpRequest request, net::RespondFn done);
-  void handle_ia(http::HttpRequest request, net::RespondFn done);
+  PPROX_HOT void handle_ua(http::HttpRequest request, net::RespondFn done);
+  PPROX_HOT void handle_ia(http::HttpRequest request, net::RespondFn done);
   void fail(const net::RespondFn& done, int status, std::string_view message);
   /// Tenant id named by the request header (kDefaultTenant when absent).
   static std::string tenant_of(const http::HttpRequest& request);

@@ -6,6 +6,9 @@ namespace pprox {
 ShuffleQueue::ShuffleQueue(int size, std::chrono::milliseconds timeout)
     : size_(size), timeout_(timeout) {
   if (size_ > 1) {
+    // A batch can never exceed S actions: reserving here makes the
+    // steady-state push_back in add() allocation-free.
+    buffer_.reserve(static_cast<std::size_t>(size_));
     timer_ = DetThread([this] { timer_loop(); }, "shuffle-timer");
   }
 }

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/hotpath.hpp"
 #include "common/rand.hpp"
 #include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
@@ -56,7 +57,7 @@ class ShuffleQueue {
 
   /// Adds a release action. May synchronously flush (and run actions on the
   /// calling thread) when the buffer reaches S.
-  void add(std::function<void()> release) PPROX_EXCLUDES(mutex_);
+  PPROX_HOT void add(std::function<void()> release) PPROX_EXCLUDES(mutex_);
 
   /// Forces an immediate flush (used by tests and shutdown).
   void flush_now() PPROX_EXCLUDES(mutex_);

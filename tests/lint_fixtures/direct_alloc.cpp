@@ -1,0 +1,17 @@
+// Fixture: a PPROX_HOT function that allocates directly. Expected finding:
+// hot-alloc rooted and leafed at the same function (chain of length one).
+// This file is analyzer input only — it is never compiled into a target.
+#define PPROX_HOT
+#define PPROX_NONBLOCKING
+
+namespace fixture {
+
+struct Buf {
+  char* data = nullptr;
+};
+
+PPROX_HOT void hot_direct(Buf& b) {
+  b.data = new char[64];
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// PPROX-LAYER: ua
+//
+// Fixture: a UA-layer unit that references an item-plaintext symbol — the
+// exact confinement the flow lint exists to catch (the User Anonymizer must
+// never observe item identifiers, paper §4.2). Expected findings: flow-layer
+// for the ItemId reference, plus the crypto "rand" rule for the libc PRNG.
+#include <cstdlib>
+
+namespace fixture {
+
+struct ItemId {
+  int v = 0;
+};
+
+inline int leak_item(const ItemId& item) {
+  return item.v + rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: a PPROX_NONBLOCKING function takes a lock through a helper.
+// Expected finding: nonblocking-block (LockGuard construction is a blocking
+// leaf). The PPROX_HOT-only sibling is clean: HOT allows locks by design
+// ("lock-light, not lock-free") — only NONBLOCKING forbids them.
+#define PPROX_HOT
+#define PPROX_NONBLOCKING
+
+namespace fixture {
+
+struct Mutex {};
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Counter {
+  Mutex mu;
+  int value = 0;
+
+  void bump() {
+    LockGuard lock(mu);
+    ++value;
+  }
+};
+
+PPROX_NONBLOCKING void nonblocking_bump(Counter& c) {
+  c.bump();
+}
+
+PPROX_HOT void hot_bump_is_fine(Counter& c) {
+  c.bump();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: mutual recursion under a PPROX_HOT root. Expected findings:
+// hot-recursion — the ping/pong pair forms a nontrivial SCC, each member
+// gets a recursion-cycle leaf, and the hot root reaches both.
+#define PPROX_HOT
+
+namespace fixture {
+
+int pong(int v);
+
+int ping(int v) { return v <= 0 ? v : pong(v - 1); }
+
+int pong(int v) { return v <= 0 ? v : ping(v - 1); }
+
+PPROX_HOT int hot_bounce(int v) {
+  return ping(v);
+}
+
+}  // namespace fixture

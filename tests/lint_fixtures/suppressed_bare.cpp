@@ -1,0 +1,16 @@
+// Fixture: a suppression comment with no ": reason" clause. Expected
+// findings: hotpath-bare-suppression (the bare form is itself an error) AND
+// the underlying hot-alloc — a justification-free suppression hides nothing.
+#define PPROX_HOT
+
+namespace fixture {
+
+struct Buf {
+  char* data = nullptr;
+};
+
+PPROX_HOT void hot_bare(Buf& b) {
+  b.data = new char[64];  // PPROX-HOTPATH-OK(alloc)
+}
+
+}  // namespace fixture

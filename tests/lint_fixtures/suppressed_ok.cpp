@@ -1,0 +1,16 @@
+// Fixture: the same direct allocation as direct_alloc.cpp, but carrying a
+// justified suppression on the leaf line. Expected findings: none — the
+// reason clause makes the suppression effective.
+#define PPROX_HOT
+
+namespace fixture {
+
+struct Buf {
+  char* data = nullptr;
+};
+
+PPROX_HOT void hot_justified(Buf& b) {
+  b.data = new char[64];  // PPROX-HOTPATH-OK(alloc): one-time warmup buffer, freed at shutdown
+}
+
+}  // namespace fixture

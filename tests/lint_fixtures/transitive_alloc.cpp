@@ -1,0 +1,22 @@
+// Fixture: allocation reached transitively through two un-annotated helper
+// levels. Expected finding: hot-alloc with the full three-hop chain
+// hot_entry -> level_one -> level_two (push_back leaf); the helpers
+// themselves produce no findings because only the root is annotated.
+#define PPROX_HOT
+#include <vector>
+
+namespace fixture {
+
+inline void level_two(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+inline void level_one(std::vector<int>& out, int v) {
+  level_two(out, v + 1);
+}
+
+PPROX_HOT void hot_entry(std::vector<int>& out) {
+  level_one(out, 7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: a hot function dispatches through a base-class pointer. The
+// analyzer cannot devirtualize, so the documented fallback resolves the
+// member call to every scanned function named `handle` — including the
+// allocating override. Expected finding: hot-alloc through
+// hot_dispatch -> AllocatingHandler::handle.
+#define PPROX_HOT
+#include <string>
+
+namespace fixture {
+
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual void handle(int v) = 0;
+};
+
+class AllocatingHandler : public Handler {
+ public:
+  void handle(int v) override { log_.append(1, static_cast<char>(v)); }
+
+ private:
+  std::string log_;
+};
+
+PPROX_HOT void hot_dispatch(Handler* h) {
+  h->handle(42);
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Interface between the pprox_lint driver (pprox_lint.cpp) and the
+// hot-path call-graph pass (pprox_lint_hotpath.cpp). The pass is a separate
+// TU because it carries its own parser and graph machinery; the driver only
+// forwards the already-collected file list and the baseline flags.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace hotpath {
+
+struct Options {
+  bool json = false;
+  std::string baseline;       ///< compare findings against this file
+  std::string baseline_write; ///< regenerate this baseline file and exit 0
+  std::vector<std::filesystem::path> inputs;
+};
+
+/// Runs the hot-path discipline pass. Exit-code contract matches the
+/// driver: 0 clean / within baseline, 1 findings or baseline regressions,
+/// 2 usage or IO error (unreadable input, unparseable baseline).
+int run(const Options& opts);
+
+}  // namespace hotpath

@@ -48,8 +48,17 @@
 // checked-in baseline and fails only on regressions, so CI can gate on
 // "no new findings" while a cleanup is in flight.
 //
+// Hot-path rules (--hotpath) run the call-graph discipline pass of
+// tools/pprox_lint_hotpath.cpp (DESIGN.md §11): PPROX_HOT /
+// PPROX_NONBLOCKING / PPROX_ECALL_BOUNDARY functions must not reach heap
+// allocation, blocking operations, throws, or recursion cycles. Its
+// --baseline file is key-based (tools/hotpath_baseline.json), not
+// totals-based; --baseline-write regenerates either format.
+//
 // Exit status: 0 clean (or within baseline), 1 findings/regressions,
 // 2 usage/IO error.
+#include "hotpath_pass.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -84,9 +93,11 @@ struct Unit {
 
 struct Options {
   bool flow = false;
+  bool hotpath = false;
   bool json = false;
   bool list_rules = false;
   std::string baseline;
+  std::string baseline_write;
   std::vector<fs::path> inputs;
 };
 
@@ -113,6 +124,16 @@ constexpr RuleDoc kRuleDocs[] = {
     {"flow-declassify", "PPROX_DECLASSIFY needs an adjacent justification"},
     {"flow-test-declassify", "test-only declassify macros stay out of src/"},
     {"flow-internal", "cross-layer includes must respect the layering graph"},
+    {"hot-alloc", "PPROX_HOT paths must not reach heap allocation"},
+    {"hot-throw", "PPROX_HOT paths must not reach a throw"},
+    {"hot-recursion", "PPROX_HOT paths must not reach a recursion cycle"},
+    {"nonblocking-block",
+     "PPROX_NONBLOCKING paths must not reach a blocking operation"},
+    {"ecall-alloc",
+     "PPROX_ECALL_BOUNDARY must not allocate inside the enclave (ROADMAP 3)"},
+    {"ecall-block", "PPROX_ECALL_BOUNDARY must not reach a blocking op"},
+    {"hotpath-bare-suppression",
+     "hot-path suppressions must carry a ': <why>'"},
 };
 
 bool is_ident(char c) {
@@ -960,17 +981,23 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout
-          << "usage: pprox_lint [--flow] [--json] [--baseline FILE] "
-             "[--list-rules] <dir-or-file>...\n"
+          << "usage: pprox_lint [--flow|--hotpath] [--json] [--baseline FILE] "
+             "[--baseline-write FILE] [--list-rules] <dir-or-file>...\n"
              "crypto rules: rand, memcmp, secure-wipe, secret-index, "
              "intrinsics, raw-sync, bare-suppression\n"
              "flow rules (--flow): flow-layer, flow-declassify, "
              "flow-test-declassify, flow-internal\n"
-             "suppress: // pprox-lint: allow(<rule>): <why>\n"
+             "hotpath rules (--hotpath): hot-alloc, hot-throw, "
+             "hot-recursion, nonblocking-block, ecall-alloc, ecall-block, "
+             "hotpath-bare-suppression\n"
+             "suppress: // pprox-lint: allow(<rule>): <why>   (crypto/flow)\n"
+             "          // PPROX-HOTPATH-OK(<effect>): <why>  (hotpath)\n"
              "--json prints findings, per-rule totals, and the per-unit "
              "layer/include graph\n"
-             "--baseline compares per-rule totals against FILE and fails "
-             "only on regressions\n"
+             "--baseline compares against FILE and fails only on regressions "
+             "(per-rule totals; per-violation keys with --hotpath)\n"
+             "--baseline-write regenerates FILE from the current findings "
+             "and exits 0\n"
              "--list-rules prints the rule table and exits\n";
       return 0;
     }
@@ -980,6 +1007,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--flow") {
       opts.flow = true;
+      continue;
+    }
+    if (arg == "--hotpath") {
+      opts.hotpath = true;
       continue;
     }
     if (arg == "--json") {
@@ -993,6 +1024,19 @@ int main(int argc, char** argv) {
       }
       opts.baseline = argv[++i];
       continue;
+    }
+    if (arg == "--baseline-write") {
+      if (i + 1 >= argc) {
+        std::cerr << "pprox_lint: --baseline-write needs a file argument\n";
+        return 2;
+      }
+      opts.baseline_write = argv[++i];
+      continue;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::cerr << "pprox_lint: unknown option " << arg
+                << " (see --help)\n";
+      return 2;
     }
     collect(arg, opts.inputs);
   }
@@ -1013,6 +1057,15 @@ int main(int argc, char** argv) {
   }
   std::sort(opts.inputs.begin(), opts.inputs.end());
 
+  if (opts.hotpath) {
+    hotpath::Options hopts;
+    hopts.json = opts.json;
+    hopts.baseline = opts.baseline;
+    hopts.baseline_write = opts.baseline_write;
+    hopts.inputs = opts.inputs;
+    return hotpath::run(hopts);
+  }
+
   std::vector<Finding> findings;
   std::vector<Unit> units;
   for (const fs::path& f : opts.inputs) scan_file(f, opts, findings, units);
@@ -1028,8 +1081,39 @@ int main(int argc, char** argv) {
   } else {
     for (const Finding& f : findings) {
       std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
-                << f.message << "\n";
+                << f.message << " (suppress: // pprox-lint: allow(" << f.rule
+                << "): <why>)\n";
     }
+  }
+
+  if (!opts.baseline_write.empty()) {
+    // Regenerate a totals-format baseline from the current findings so the
+    // ratchet can be tightened without hand-editing JSON.
+    std::ofstream out(opts.baseline_write);
+    if (!out) {
+      std::cerr << "pprox_lint: cannot write baseline " << opts.baseline_write
+                << "\n";
+      return 2;
+    }
+    const auto totals = rule_totals(findings);
+    out << "{\n  \"totals\": {";
+    bool first = true;
+    for (const RuleDoc& doc : kRuleDocs) {
+      const auto it = totals.find(doc.name);
+      if (std::string(doc.name).rfind("hot", 0) == 0 ||
+          std::string(doc.name).rfind("ecall", 0) == 0 ||
+          std::string(doc.name) == "nonblocking-block") {
+        continue;  // hotpath rules live in the key-based baseline
+      }
+      out << (first ? "" : ",") << "\n    \"" << doc.name
+          << "\": " << (it == totals.end() ? 0 : it->second);
+      first = false;
+    }
+    out << "\n  }\n}\n";
+    std::cout << "pprox_lint: wrote per-rule totals baseline to "
+              << opts.baseline_write << " (" << findings.size()
+              << " finding(s))\n";
+    return 0;
   }
 
   if (!opts.baseline.empty()) {
