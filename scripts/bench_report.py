@@ -48,15 +48,25 @@ def compare(baseline_path, new_path, threshold):
     regressions = []
     improvements = 0
     compared = 0
+    missing = 0
 
     for name in sorted(base_b):
         if name not in new_b:
             print(f"  {name}: only in baseline (retired?)")
+            missing += len(base_b[name])
             continue
         for backend in sorted(base_b[name]):
             old_e = base_b[name][backend]
             new_e = new_b[name].get(backend)
-            if new_e is None or "error" in old_e or "error" in new_e:
+            if new_e is None:
+                # A backend present in the baseline but absent from the fresh
+                # run usually means a renamed/retired series; warn so the gap
+                # is visible instead of silently shrinking the comparison.
+                print(f"  {name}/{backend}: in baseline but missing from "
+                      f"this run (renamed or retired?)")
+                missing += 1
+                continue
+            if "error" in old_e or "error" in new_e:
                 continue
             old_t = old_e.get("cpu_time_ns")
             new_t = new_e.get("cpu_time_ns")
@@ -75,8 +85,12 @@ def compare(baseline_path, new_path, threshold):
     for name in sorted(set(new_b) - set(base_b)):
         print(f"  {name}: new benchmark (no baseline)")
 
-    print(f"  compared {compared} series: {len(regressions)} regression(s) "
-          f"beyond {threshold * 100:.0f}%, {improvements} improved")
+    summary = (f"  compared {compared} series: {len(regressions)} "
+               f"regression(s) beyond {threshold * 100:.0f}%, "
+               f"{improvements} improved")
+    if missing:
+        summary += f", {missing} baseline series missing from this run"
+    print(summary)
     return 1 if regressions else 0
 
 

@@ -171,9 +171,9 @@ if [[ "$MODE" == "--model" ]]; then
   # Deterministic interleaving exploration (DESIGN.md §9). Two builds:
   #
   #   build-model           sync.hpp routes through the det scheduler; the
-  #                         four pprox_check models (shuffle, mpmc, pool,
-  #                         rotation) run bounded-exhaustive DFS and
-  #                         fixed-seed PCT and must all PASS.
+  #                         five pprox_check models (shuffle, mpmc, pool,
+  #                         rotation, lockorder) run bounded-exhaustive DFS
+  #                         and fixed-seed PCT and must all PASS.
   #   build-model-selftest  additionally compiles the pre-fix bugs back in
   #                         (-DPPROX_CHECK_SELFTEST). Every model test is
   #                         WILL_FAIL: ctest passes only if pprox_check
@@ -214,6 +214,10 @@ step "hot-path discipline lint (pprox_lint --hotpath, DESIGN.md §11)"
 "$ROOT/build-asan/tools/pprox_lint" --hotpath \
     --baseline "$ROOT/tools/hotpath_baseline.json" "$ROOT/src"
 
+step "lock-discipline lint (pprox_lint --locks, DESIGN.md §12)"
+"$ROOT/build-asan/tools/pprox_lint" --locks \
+    --baseline "$ROOT/tools/locks_baseline.json" "$ROOT/src"
+
 step "negative-compile suite (taint-domain violations must not build)"
 # Most cases drive the compiler directly (-fsyntax-only), but the
 # detthread_double_join pair is a negative-RUN case and needs its binaries.
@@ -222,7 +226,7 @@ configure_and_build build-asan "address;undefined" \
 ctest --test-dir "$ROOT/build-asan" -R '^compile_fail_' \
       --output-on-failure -j "$JOBS"
 
-step "lint golden fixtures (hotpath + flow analyzer pins)"
+step "lint golden fixtures (hotpath + locks + flow analyzer pins)"
 ctest --test-dir "$ROOT/build-asan" -R '^lint_fixture_' \
       --output-on-failure -j "$JOBS"
 

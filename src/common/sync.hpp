@@ -379,6 +379,28 @@ class PPROX_SCOPED_CAPABILITY ReadLock {
   SharedMutex& mutex_;
 };
 
+// Inverse RAII: releases a held UniqueLock for the current scope and
+// re-acquires it on exit. The structured replacement for the
+// `lock.unlock(); call(); lock.lock();` juggle — pprox_lint --locks flags
+// that shape (PPROX-LOCK-MANUAL) because an early return or a throw between
+// the bare calls leaves the lock in the wrong state, and the analyzer's
+// held-set tracking cannot follow it. Clang's thread-safety analysis cannot
+// model an un-then-relock scope either, hence the opt-out annotations.
+class ScopedUnlock {
+ public:
+  explicit ScopedUnlock(UniqueLock& lock) PPROX_NO_THREAD_SAFETY_ANALYSIS
+      : lock_(lock) {
+    PPROX_SYNC_ASSERT(lock_.owns_lock(), "ScopedUnlock on a released lock");
+    lock_.unlock();
+  }
+  ~ScopedUnlock() PPROX_NO_THREAD_SAFETY_ANALYSIS { lock_.lock(); }
+  ScopedUnlock(const ScopedUnlock&) = delete;
+  ScopedUnlock& operator=(const ScopedUnlock&) = delete;
+
+ private:
+  UniqueLock& lock_;
+};
+
 // Condition variable working with UniqueLock over pprox::Mutex.
 class CondVar {
  public:

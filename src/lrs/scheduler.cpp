@@ -52,9 +52,10 @@ void TrainingScheduler::loop() {
 
     trigger_requested_ = false;
     const std::size_t events_now = server_->event_count();
-    lock.unlock();
-    server_->train();  // batch job; queries keep hitting the old snapshot
-    lock.lock();
+    {
+      ScopedUnlock unlocked(lock);
+      server_->train();  // batch job; queries keep hitting the old snapshot
+    }
     events_at_last_run_ = events_now;
     deadline = Clock::now() + policy_.interval;
     runs_.fetch_add(1);

@@ -103,9 +103,10 @@ void ShuffleQueue::timer_loop() {
     ++arm_generation_;
     const FlushInfo info{FlushReason::kTimer, batch.size(), deadline_,
                          SteadyClock::now()};
-    lock.unlock();
-    if (!batch.empty()) run_batch(std::move(batch), info);
-    lock.lock();
+    {
+      ScopedUnlock unlocked(lock);
+      if (!batch.empty()) run_batch(std::move(batch), info);
+    }
   }
 }
 #else
@@ -137,9 +138,10 @@ void ShuffleQueue::timer_loop() {
     ++arm_generation_;
     const FlushInfo info{FlushReason::kTimer, batch.size(), deadline,
                          SteadyClock::now()};
-    lock.unlock();
-    if (!batch.empty()) run_batch(std::move(batch), info);
-    lock.lock();
+    {
+      ScopedUnlock unlocked(lock);
+      if (!batch.empty()) run_batch(std::move(batch), info);
+    }
   }
 }
 #endif  // PPROX_CHECK_SELFTEST

@@ -1,0 +1,28 @@
+// Fixture: blocking while locked, transitively — tick() holds mu_ across a
+// call to nap(), which reaches a sleep two frames from the acquisition.
+// Expected finding: lock-blocking rooted at tick() (where the lock is
+// held), with the chain down to the sleep_for leaf.
+// This file is analyzer input only — it is never compiled into a target.
+
+namespace fixture {
+
+class Mutex {};
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex&);
+};
+
+class Svc {
+ public:
+  void tick() {
+    LockGuard g(mu_);
+    nap();
+  }
+
+ private:
+  void nap() { idle(); }
+  void idle() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+  Mutex mu_;
+};
+
+}  // namespace fixture

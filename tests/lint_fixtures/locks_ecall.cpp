@@ -1,0 +1,33 @@
+// Fixture: a lock held across the enclave boundary — call_locked() holds
+// mu_ while invoking a PPROX_ECALL_BOUNDARY-annotated function. Expected
+// finding: lock-ecall rooted at call_locked() with the boundary function's
+// annotation as the leaf token.
+// This file is analyzer input only — it is never compiled into a target.
+#define PPROX_ECALL_BOUNDARY
+
+namespace fixture {
+
+class Mutex {};
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex&);
+};
+
+class Enclave {
+ public:
+  PPROX_ECALL_BOUNDARY void enter() {}
+};
+
+class Host {
+ public:
+  void call_locked() {
+    LockGuard g(mu_);
+    enclave_.enter();
+  }
+
+ private:
+  Mutex mu_;
+  Enclave enclave_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: bare manual mutex operations — bump() calls .lock()/.unlock()
+// directly on a declared Mutex member instead of using a RAII guard.
+// Expected findings: one lock-manual per operation. The weak_ptr-style
+// .lock() on a non-mutex receiver below must NOT fire.
+// This file is analyzer input only — it is never compiled into a target.
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+struct Handle {
+  int* lock();
+};
+
+class Counter {
+ public:
+  void bump() {
+    mu_.lock();
+    ++n_;
+    mu_.unlock();
+  }
+  int* peek() { return handle_.lock(); }
+
+ private:
+  Mutex mu_;
+  Handle handle_;
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: a lock-order cycle built interprocedurally — ab() holds a_ and
+// reaches the b_ acquisition through take_b(), while ba() acquires b_ then
+// a_ directly. Expected finding: one lock-order cycle keyed on the
+// lexicographically smallest lock, carrying both acquisition chains.
+// This file is analyzer input only — it is never compiled into a target.
+
+namespace fixture {
+
+class Mutex {};
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex&);
+};
+
+class Pair {
+ public:
+  void ab() {
+    LockGuard g(a_);
+    take_b();
+  }
+  void ba() {
+    LockGuard g(b_);
+    LockGuard h(a_);
+  }
+
+ private:
+  void take_b() { LockGuard g(b_); }
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: a bare lock-discipline suppression — the lock() line carries the
+// marker without a ": <why>" clause. Expected findings: the bare
+// suppression itself AND the underlying lock-manual (the bare form
+// suppresses nothing). The unlock() line's justified suppression holds.
+// This file is analyzer input only — it is never compiled into a target.
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class Gauge {
+ public:
+  void sample() {
+    mu_.lock();  // PPROX-LOCKS-OK(manual)
+    ++n_;
+    mu_.unlock();  // PPROX-LOCKS-OK(manual): mirrors the lock above
+  }
+
+ private:
+  Mutex mu_;
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: the same manual mutex operations as locks_manual.cpp, but each
+// carrying a justified suppression. Expected findings: none — the reason
+// clause makes the suppression effective.
+// This file is analyzer input only — it is never compiled into a target.
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class Gauge {
+ public:
+  void sample() {
+    mu_.lock();  // PPROX-LOCKS-OK(manual): interrupt handler; guard dtor would run after the window closed
+    ++n_;
+    mu_.unlock();  // PPROX-LOCKS-OK(manual): mirrors the lock above
+  }
+
+ private:
+  Mutex mu_;
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: a predicate-less CondVar wait — park() waits on cv_ with only
+// the lock argument, so a spurious wakeup resumes with the invariant
+// unchecked. Expected finding: wait-nopred. The wait releases the only
+// held lock, so no lock-blocking fires (the exemption).
+// This file is analyzer input only — it is never compiled into a target.
+
+namespace fixture {
+
+class Mutex {};
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex&);
+};
+class CondVar {
+ public:
+  void wait(UniqueLock&);
+};
+
+class Waiter {
+ public:
+  void park() {
+    UniqueLock lk(mu_);
+    cv_.wait(lk);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+};
+
+}  // namespace fixture

@@ -3,9 +3,9 @@
 #
 #   run_fixture.sh LINT_BIN MODE FIXTURE.cpp EXPECTED
 #
-# MODE is `hotpath` or `flow`. The fixture is linted on its own; findings are
-# normalized (hotpath: sorted baseline keys from --json; flow: sorted [rule]
-# tags) and diffed against EXPECTED. The lint exit code must also agree with
+# MODE is `hotpath`, `locks`, or `flow`. The fixture is linted on its own;
+# findings are normalized (hotpath/locks: sorted baseline keys from --json;
+# flow: sorted [rule] tags) and diffed against EXPECTED. The lint exit code must also agree with
 # the golden: a non-empty EXPECTED demands exit 1, an empty one exit 0 — so
 # a fixture that stops firing OR an analyzer that stops failing both break
 # the test.
@@ -23,6 +23,12 @@ name="$(basename "$fixture")"
 case "$mode" in
   hotpath)
     raw="$("$lint" --hotpath --json "$name" 2>/dev/null)"
+    rc=$?
+    got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
+           sed 's/^"key": "//; s/"$//' | sort)"
+    ;;
+  locks)
+    raw="$("$lint" --locks --json "$name" 2>/dev/null)"
     rc=$?
     got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
            sed 's/^"key": "//; s/"$//' | sort)"

@@ -367,6 +367,69 @@ void model_rotation() {
 }
 
 // ---------------------------------------------------------------------------
+// Model: lockorder — two-mutex acquisition-order discipline.
+//
+// The dynamic twin of pprox_lint --locks' PPROX-LOCK-ORDER rule (DESIGN.md
+// §12.3): the static pass proves the *absence* of cycles in the global
+// lock-order graph; this model demonstrates the *presence* of the deadlock
+// a cycle implies, so the two tools cross-validate. Thread-1 always takes
+// mu_a then mu_b. In the shipped build thread-2 follows the same global
+// order (a then b) and bounded DFS explores every interleaving without a
+// deadlock. Under -DPPROX_CHECK_SELFTEST thread-2 inverts the order (b then
+// a) — exactly the shape the analyzer keys as
+// "lock-order|...mu_a...->...mu_b...->...mu_a..." — and DFS must find the
+// interleaving where each thread holds one mutex and parks on the other,
+// reported by the scheduler's deadlock detector with a replayable trace.
+// ---------------------------------------------------------------------------
+
+void model_lockorder() {
+#ifdef PPROX_CHECK_SELFTEST
+  // Printed once so the deadlock trace can be matched back to the static
+  // analyzer's finding format.
+  static const bool banner = [] {
+    std::printf(
+        "lockorder selftest: thread-2 acquires mu_b -> mu_a against "
+        "thread-1's mu_a -> mu_b; pprox_lint --locks reports this shape as "
+        "PPROX-LOCK-ORDER (key lock-order|mu_a->mu_b->mu_a) with both "
+        "acquisition chains\n");
+    // The deadlock path ends in std::_Exit (sync.cpp), which does not
+    // flush stdio: flush now or the banner is lost exactly when it matters.
+    std::fflush(stdout);
+    return true;
+  }();
+  (void)banner;
+#endif
+  Mutex mu_a;
+  Mutex mu_b;
+  int shared = 0;
+  DetThread t1(
+      [&] {
+        LockGuard a(mu_a);
+        LockGuard b(mu_b);
+        ++shared;
+      },
+      "locker-ab");
+  DetThread t2(
+      [&] {
+#ifdef PPROX_CHECK_SELFTEST
+        // Pre-fix shape: inverted order deadlocks when t1 holds mu_a and
+        // this thread holds mu_b.
+        LockGuard b(mu_b);
+        LockGuard a(mu_a);
+#else
+        // Fixed shape: the single global order mu_a -> mu_b.
+        LockGuard a(mu_a);
+        LockGuard b(mu_b);
+#endif
+        ++shared;
+      },
+      "locker-2");
+  t1.join();
+  t2.join();
+  det::model_check(shared == 2, "both critical sections must run");
+}
+
+// ---------------------------------------------------------------------------
 // CLI
 // ---------------------------------------------------------------------------
 
@@ -387,6 +450,9 @@ constexpr ModelEntry kModels[] = {
     {"rotation",
      "Key rotation: no stale-key pseudonymization, no use-after-rotate",
      &model_rotation},
+    {"lockorder",
+     "Two-mutex global order: inverted acquisition (selftest) deadlocks",
+     &model_lockorder},
 };
 
 void print_usage(std::FILE* out) {

@@ -55,9 +55,16 @@
 // --baseline file is key-based (tools/hotpath_baseline.json), not
 // totals-based; --baseline-write regenerates either format.
 //
+// Lock-discipline rules (--locks) run the interprocedural pass of
+// tools/pprox_lint_locks.cpp (DESIGN.md §12) over the same shared call
+// graph: lock-order cycles, blocking or enclave crossings while a lock is
+// held, bare manual .lock()/.unlock(), predicate-less CondVar waits. Its
+// key-based baseline is tools/locks_baseline.json.
+//
 // Exit status: 0 clean (or within baseline), 1 findings/regressions,
 // 2 usage/IO error.
 #include "hotpath_pass.hpp"
+#include "locks_pass.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -94,6 +101,7 @@ struct Unit {
 struct Options {
   bool flow = false;
   bool hotpath = false;
+  bool locks = false;
   bool json = false;
   bool list_rules = false;
   std::string baseline;
@@ -134,6 +142,20 @@ constexpr RuleDoc kRuleDocs[] = {
     {"ecall-block", "PPROX_ECALL_BOUNDARY must not reach a blocking op"},
     {"hotpath-bare-suppression",
      "hot-path suppressions must carry a ': <why>'"},
+    {"lock-order",
+     "no cycle in the global lock-acquisition-order graph (deadlock)"},
+    {"lock-blocking",
+     "no blocking leaf (sleep/join/syscall/pool submit) while a lock is "
+     "held; CondVar::wait on the released lock is exempt"},
+    {"lock-ecall",
+     "no lock held across the enclave boundary (PPROX_ECALL_BOUNDARY or "
+     "Enclave::ecall)"},
+    {"lock-manual",
+     "bare .lock()/.unlock() outside common/sync.hpp; use RAII guards or "
+     "ScopedUnlock"},
+    {"wait-nopred", "CondVar::wait must carry a predicate argument"},
+    {"locks-bare-suppression",
+     "lock-discipline suppressions must carry a ': <why>'"},
 };
 
 bool is_ident(char c) {
@@ -981,7 +1003,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout
-          << "usage: pprox_lint [--flow|--hotpath] [--json] [--baseline FILE] "
+          << "usage: pprox_lint [--flow|--hotpath|--locks] [--json] "
+             "[--baseline FILE] "
              "[--baseline-write FILE] [--list-rules] <dir-or-file>...\n"
              "crypto rules: rand, memcmp, secure-wipe, secret-index, "
              "intrinsics, raw-sync, bare-suppression\n"
@@ -990,12 +1013,15 @@ int main(int argc, char** argv) {
              "hotpath rules (--hotpath): hot-alloc, hot-throw, "
              "hot-recursion, nonblocking-block, ecall-alloc, ecall-block, "
              "hotpath-bare-suppression\n"
+             "locks rules (--locks): lock-order, lock-blocking, lock-ecall, "
+             "lock-manual, wait-nopred, locks-bare-suppression\n"
              "suppress: // pprox-lint: allow(<rule>): <why>   (crypto/flow)\n"
              "          // PPROX-HOTPATH-OK(<effect>): <why>  (hotpath)\n"
+             "          // PPROX-LOCKS-OK(<aspect>): <why>    (locks)\n"
              "--json prints findings, per-rule totals, and the per-unit "
              "layer/include graph\n"
              "--baseline compares against FILE and fails only on regressions "
-             "(per-rule totals; per-violation keys with --hotpath)\n"
+             "(per-rule totals; per-violation keys with --hotpath/--locks)\n"
              "--baseline-write regenerates FILE from the current findings "
              "and exits 0\n"
              "--list-rules prints the rule table and exits\n";
@@ -1011,6 +1037,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--hotpath") {
       opts.hotpath = true;
+      continue;
+    }
+    if (arg == "--locks") {
+      opts.locks = true;
       continue;
     }
     if (arg == "--json") {
@@ -1064,6 +1094,14 @@ int main(int argc, char** argv) {
     hopts.baseline_write = opts.baseline_write;
     hopts.inputs = opts.inputs;
     return hotpath::run(hopts);
+  }
+  if (opts.locks) {
+    locks::Options lopts;
+    lopts.json = opts.json;
+    lopts.baseline = opts.baseline;
+    lopts.baseline_write = opts.baseline_write;
+    lopts.inputs = opts.inputs;
+    return locks::run(lopts);
   }
 
   std::vector<Finding> findings;

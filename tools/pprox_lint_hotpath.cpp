@@ -4,9 +4,10 @@
 // on: annotated request-path functions must stay allocation-free,
 // non-blocking, and bounded. The pass
 //
-//   1. parses every TU it is given (comment/string-stripped, token level),
-//      recognizing namespaces, classes, and function definitions, and
-//      records per-function *leaf effects* and *call edges*;
+//   1. parses every TU via the shared call-graph front end
+//      (lint_callgraph.hpp) and replays each function's body span against
+//      the hot-path leaf vocabulary, recording *leaf effects* and *call
+//      edges*;
 //   2. resolves calls to scanned functions by qualified name (best-effort:
 //      unqualified calls prefer the caller's class, then fall back to every
 //      scanned function with that name — which is also how virtual calls
@@ -43,23 +44,25 @@
 #include "hotpath_pass.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <queue>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint_callgraph.hpp"
 
 namespace fs = std::filesystem;
 
 namespace hotpath {
 namespace {
 
+using cg::Finding;
+
 // ---------------------------------------------------------------------------
-// Effects and annotations.
+// Effects.
 // ---------------------------------------------------------------------------
 
 enum Effect : unsigned {
@@ -69,12 +72,6 @@ enum Effect : unsigned {
   kRecur = 1u << 3,
 };
 constexpr unsigned kAllEffects = kAlloc | kBlock | kThrow | kRecur;
-
-enum Annotation : unsigned {
-  kAnnHot = 1u << 0,
-  kAnnNonblocking = 1u << 1,
-  kAnnEcall = 1u << 2,
-};
 
 const char* effect_name(unsigned e) {
   switch (e) {
@@ -110,16 +107,8 @@ struct CallSite {
   unsigned mask = kAllEffects;  ///< effects allowed to propagate through
 };
 
-/// One function node of the call graph. Overloads (and re-definitions under
-/// different #ifdef branches — the pass does not preprocess) share a node:
-/// their effects and calls are unioned, which over-approximates but never
-/// misses a chain.
-struct Fn {
-  std::string qname;
-  std::string cls;  ///< qualified name minus the last component
-  std::string file;
-  std::size_t line = 0;
-  unsigned annotations = 0;
+/// Pass-local per-function state, parallel to cg::Graph::fns.
+struct Info {
   std::vector<Leaf> leaves;
   std::vector<CallSite> calls;
   std::vector<std::pair<int, unsigned>> edges;  ///< (callee index, mask)
@@ -127,13 +116,14 @@ struct Fn {
   unsigned reach = 0;  ///< fixpoint of own ∪ masked callee reach
 };
 
-struct Finding {
-  std::string rule;
-  std::string key;  ///< line-free ratchet key
-  std::string path;
-  std::size_t line = 0;
-  std::string message;
-  std::string chain;  ///< "root -> ... -> leaf"
+struct Pass {
+  cg::Graph g;
+  std::vector<Info> info;
+  std::vector<Finding> bare_findings;
+  /// file -> line -> suppressed-effects mask. Kept past extraction because
+  /// recursion leaves are minted in mark_recursion and anchor to the
+  /// definition line.
+  std::map<std::string, std::map<std::size_t, unsigned>> line_suppressions;
 };
 
 // ---------------------------------------------------------------------------
@@ -201,801 +191,143 @@ const std::set<std::string> kNotACall = {
 };
 
 // ---------------------------------------------------------------------------
-// Lexing: comment/string stripping (line-preserving) + tokenization.
+// Body replay: leaf and call-site extraction over recorded spans.
 // ---------------------------------------------------------------------------
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+unsigned line_mask(const Pass& p, const std::string& file, std::size_t line) {
+  const auto fit = p.line_suppressions.find(file);
+  if (fit == p.line_suppressions.end()) return kAllEffects;
+  const auto lit = fit->second.find(line);
+  if (lit == fit->second.end()) return kAllEffects;
+  return kAllEffects & ~lit->second;
 }
 
-/// Strips comments, string/char literals, and preprocessor lines while
-/// preserving line structure (same contract as the driver's code_lines, plus
-/// preprocessor removal so `#define PPROX_HOT ...` is not parsed as code).
-std::vector<std::string> code_lines(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  bool in_directive = false;
-  for (const std::string& line : raw) {
-    std::string code;
-    code.reserve(line.size());
-    if (in_directive) {  // continuation of a preprocessor line
-      in_directive = !line.empty() && line.back() == '\\';
-      out.emplace_back();
-      continue;
-    }
-    std::size_t first = 0;
-    while (first < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[first])) != 0) {
-      ++first;
-    }
-    if (!in_block && first < line.size() && line[first] == '#') {
-      in_directive = !line.empty() && line.back() == '\\';
-      out.emplace_back();
-      continue;
-    }
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (in_block) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block = false;
-          ++i;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block = true;
-        ++i;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            ++i;
-          } else if (line[i] == quote) {
-            break;
-          }
-          ++i;
-        }
-        code.push_back(quote);
-        code.push_back(quote);
-        continue;
-      }
-      code.push_back(c);
-    }
-    out.push_back(std::move(code));
+void add_leaf(Pass& p, int fi, unsigned kind, const std::string& token,
+              std::size_t line, const std::string& file) {
+  if ((line_mask(p, file, line) & kind) == 0) return;  // suppressed
+  Info& f = p.info[static_cast<std::size_t>(fi)];
+  for (const Leaf& l : f.leaves) {
+    if (l.kind == kind && l.line == line && l.token == token) return;
   }
-  return out;
+  f.leaves.push_back({kind, token, line});
+  f.own |= kind;
 }
 
-struct Tok {
-  std::string text;
-  std::size_t line;  ///< 1-based
-};
-
-std::vector<Tok> tokenize(const std::vector<std::string>& code) {
-  std::vector<Tok> toks;
-  for (std::size_t li = 0; li < code.size(); ++li) {
-    const std::string& s = code[li];
-    std::size_t i = 0;
-    while (i < s.size()) {
-      const char c = s[i];
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        ++i;
-        continue;
-      }
-      if (is_ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
-        std::size_t j = i;
-        while (j < s.size() && is_ident_char(s[j])) ++j;
-        toks.push_back({s.substr(i, j - i), li + 1});
-        i = j;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        std::size_t j = i;
-        while (j < s.size() && (is_ident_char(s[j]) || s[j] == '.')) ++j;
-        toks.push_back({s.substr(i, j - i), li + 1});
-        i = j;
-        continue;
-      }
-      if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-        toks.push_back({"::", li + 1});
-        i += 2;
-        continue;
-      }
-      if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
-        toks.push_back({"->", li + 1});
-        i += 2;
-        continue;
-      }
-      if (c == '"' && i + 1 < s.size() && s[i + 1] == '"') {
-        toks.push_back({"\"\"", li + 1});
-        i += 2;
-        continue;
-      }
-      if (c == '\'' && i + 1 < s.size() && s[i + 1] == '\'') {
-        toks.push_back({"''", li + 1});
-        i += 2;
-        continue;
-      }
-      toks.push_back({std::string(1, c), li + 1});
-      ++i;
-    }
-  }
-  return toks;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: // PPROX-HOTPATH-OK(effect[,effect]): reason
-// ---------------------------------------------------------------------------
-
-struct Suppression {
-  unsigned effects = 0;
-  bool bare = false;  ///< reason missing — rejected, suppresses nothing
-};
-
-/// Per-line suppressions of one file. The marker is split so this tool's
-/// own sources never self-match.
-std::map<std::size_t, Suppression> scan_suppressions(
-    const std::vector<std::string>& raw) {
-  std::map<std::size_t, Suppression> out;
-  const std::string marker = std::string("PPROX-HOTPATH-") + "OK(";
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    const std::size_t pos = raw[i].find(marker);
-    if (pos == std::string::npos) continue;
-    const std::size_t open = pos + marker.size();
-    const std::size_t close = raw[i].find(')', open);
-    if (close == std::string::npos) continue;
-    Suppression s;
-    std::string inside = raw[i].substr(open, close - open);
-    std::replace(inside.begin(), inside.end(), ',', ' ');
-    std::istringstream iss(inside);
-    std::string name;
-    while (iss >> name) s.effects |= effect_from_name(name);
-    // Mandatory ": <nonempty reason>" after the closing parenthesis.
-    std::size_t after = close + 1;
-    while (after < raw[i].size() &&
-           std::isspace(static_cast<unsigned char>(raw[i][after])) != 0) {
-      ++after;
-    }
-    if (after >= raw[i].size() || raw[i][after] != ':') {
-      s.bare = true;
-    } else {
-      ++after;
-      while (after < raw[i].size() &&
-             std::isspace(static_cast<unsigned char>(raw[i][after])) != 0) {
-        ++after;
-      }
-      if (after >= raw[i].size()) s.bare = true;
-    }
-    if (s.bare) s.effects = 0;  // a rejected suppression suppresses nothing
-    out.emplace(i + 1, s);
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Parser: scope tracking, function extraction, body scanning.
-// ---------------------------------------------------------------------------
-
-struct Graph {
-  std::vector<Fn> fns;
-  std::map<std::string, int> index;                 // qname -> fns index
-  std::map<std::string, unsigned> decl_annotations; // from declarations
-  std::vector<Finding> bare_findings;
-  /// file -> line -> suppressed-effects mask. Kept past parsing because
-  /// recursion leaves are minted in mark_recursion (after the per-file
-  /// suppression maps are gone) and anchor to the definition line.
-  std::map<std::string, std::map<std::size_t, unsigned>> line_suppressions;
-
-  Fn& get_or_create(const std::string& qname) {
-    const auto it = index.find(qname);
-    if (it != index.end()) return fns[static_cast<std::size_t>(it->second)];
-    index.emplace(qname, static_cast<int>(fns.size()));
-    Fn f;
-    f.qname = qname;
-    const std::size_t sep = qname.rfind("::");
-    f.cls = sep == std::string::npos ? std::string() : qname.substr(0, sep);
-    fns.push_back(std::move(f));
-    return fns.back();
-  }
-};
-
-class Parser {
- public:
-  Parser(std::string file, std::vector<Tok> toks,
-         std::map<std::size_t, Suppression> supp, Graph& graph)
-      : file_(std::move(file)),
-        toks_(std::move(toks)),
-        supp_(std::move(supp)),
-        graph_(graph) {}
-
-  void parse() {
-    while (i_ < toks_.size()) {
-      if (in_body()) {
-        body_token();
-      } else {
-        decl_token();
-      }
-    }
-  }
-
- private:
-  enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
-  struct Scope {
-    ScopeKind kind;
-    std::string name;
-    int fn = -1;  ///< graph index for kFunction scopes
+/// Replays one body span against the hot-path vocabulary. This is the
+/// original parser's body scan, verbatim minus the scope bookkeeping: the
+/// span's brace structure is already known, and every lookahead reads the
+/// same TU token stream at the same absolute indices as the single-pass
+/// version did.
+void replay_span(Pass& p, int fi, const cg::Span& sp) {
+  const std::vector<cg::Tok>& toks =
+      p.g.tus[static_cast<std::size_t>(sp.tu)].toks;
+  const std::string& file = p.g.tus[static_cast<std::size_t>(sp.tu)].path;
+  const std::string kEnd;
+  auto text = [&](std::size_t at) -> const std::string& {
+    return at < toks.size() ? toks[at].text : kEnd;
   };
-
-  bool in_body() const {
-    return !scopes_.empty() && (scopes_.back().kind == ScopeKind::kFunction ||
-                                scopes_.back().kind == ScopeKind::kBlock);
-  }
-
-  int current_fn() const {
-    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-      if (it->kind == ScopeKind::kFunction) return it->fn;
-    }
-    return -1;
-  }
-
-  std::string scope_prefix() const {
-    std::string out;
-    for (const Scope& s : scopes_) {
-      if (s.kind != ScopeKind::kNamespace && s.kind != ScopeKind::kClass) {
-        continue;
-      }
-      if (s.name.empty()) continue;  // anonymous namespace / struct
-      if (!out.empty()) out += "::";
-      out += s.name;
-    }
-    return out;
-  }
-
-  const Tok& cur() const { return toks_[i_]; }
-  const std::string& tok(std::size_t off = 0) const {
-    static const std::string kEnd;
-    return i_ + off < toks_.size() ? toks_[i_ + off].text : kEnd;
-  }
-  bool at_end() const { return i_ >= toks_.size(); }
-
-  static bool is_ident_tok(const std::string& t) {
-    return !t.empty() &&
-           (std::isalpha(static_cast<unsigned char>(t[0])) != 0 || t[0] == '_');
-  }
-
-  /// Skips a balanced group starting at the current opener token.
-  void skip_balanced(const char* open, const char* close) {
-    int depth = 0;
-    while (!at_end()) {
-      if (tok() == open) ++depth;
-      if (tok() == close && --depth == 0) {
-        ++i_;
-        return;
-      }
-      ++i_;
-    }
-  }
-
-  /// Skips template angle brackets; bails out (going nowhere) if the '<'
-  /// turns out to be a comparison (unbalanced before ';' or ')').
-  void skip_angles() {
-    const std::size_t start = i_;
-    int depth = 0;
-    std::size_t steps = 0;
-    while (!at_end() && steps++ < 256) {
-      const std::string& t = tok();
-      if (t == "<") ++depth;
-      if (t == ">" && --depth == 0) {
-        ++i_;
-        return;
-      }
-      if (t == ";" || t == "{" || t == "}") break;  // not a template list
-      ++i_;
-    }
-    i_ = start + 1;
-  }
-
-  /// Consumes to the end of the current statement: the first ';' at bracket
-  /// depth 0. Stops (without consuming) at a '}' at depth 0 so enclosing
-  /// scopes still close properly.
-  void skip_statement() {
-    int depth = 0;
-    while (!at_end()) {
-      const std::string& t = tok();
-      if (depth == 0 && t == ";") {
-        ++i_;
-        return;
-      }
-      if (depth == 0 && t == "}") return;
-      if (t == "{" || t == "(" || t == "[") ++depth;
-      if (t == "}" || t == ")" || t == "]") --depth;
-      ++i_;
-    }
-  }
-
-  // --- declaration scope ---------------------------------------------------
-
-  void decl_token() {
-    const std::string& t = tok();
-    if (t == "}") {
-      if (!scopes_.empty()) scopes_.pop_back();
-      ++i_;
-      if (tok() == ";") ++i_;
-      return;
-    }
-    if (t == ";") {
-      pending_ = 0;
-      ++i_;
-      return;
-    }
-    if (t == "namespace") {
-      parse_namespace();
-      return;
-    }
-    if (t == "template") {
-      ++i_;
-      if (tok() == "<") skip_angles();
-      return;
-    }
-    if (t == "using" || t == "typedef" || t == "friend" ||
-        t == "static_assert") {
-      skip_statement();
-      return;
-    }
-    if (t == "extern") {
-      if (tok(1) == "\"\"" && tok(2) == "{") {
-        scopes_.push_back({ScopeKind::kNamespace, "", -1});
-        i_ += 3;
-        return;
-      }
-      ++i_;
-      return;
-    }
-    if (t == "class" || t == "struct" || t == "union" || t == "enum") {
-      parse_class();
-      return;
-    }
-    if (t == "PPROX_HOT") {
-      pending_ |= kAnnHot;
-      ++i_;
-      return;
-    }
-    if (t == "PPROX_NONBLOCKING") {
-      pending_ |= kAnnNonblocking;
-      ++i_;
-      return;
-    }
-    if (t == "PPROX_ECALL_BOUNDARY") {
-      pending_ |= kAnnEcall;
-      ++i_;
-      return;
-    }
-    parse_decl_or_def();
-  }
-
-  void parse_namespace() {
-    ++i_;  // namespace
-    std::string name;
-    while (!at_end() && (is_ident_tok(tok()) || tok() == "::")) {
-      name += tok();
-      ++i_;
-    }
-    if (tok() == "{") {
-      scopes_.push_back({ScopeKind::kNamespace, name, -1});
-      ++i_;
-    } else {
-      skip_statement();  // namespace alias or malformed
-    }
-  }
-
-  void parse_class() {
-    ++i_;  // class/struct/union/enum
-    if (tok() == "class" || tok() == "struct") ++i_;  // enum class
-    while (tok() == "[") skip_balanced("[", "]");     // attributes
-    if (tok() == "alignas" && tok(1) == "(") {
-      ++i_;
-      skip_balanced("(", ")");
-    }
-    std::string name;
-    if (is_ident_tok(tok())) {
-      name = tok();
-      ++i_;
-    }
-    // Scan to the body or the end of a forward declaration.
-    while (!at_end()) {
-      const std::string& t = tok();
-      if (t == ";") {
-        ++i_;
-        return;  // forward declaration
-      }
-      if (t == "{") {
-        scopes_.push_back({ScopeKind::kClass, name, -1});
-        ++i_;
-        return;
-      }
-      if (t == "(") {
-        skip_balanced("(", ")");
-        continue;
-      }
-      if (t == "<") {
-        skip_angles();
-        continue;
-      }
-      if (t == "}") return;  // malformed; let the scope close
-      ++i_;
-    }
-  }
-
-  /// Generic declaration statement at namespace/class scope: recognizes
-  /// `name(args) [qualifiers] {body}` as a function definition and
-  /// `name(args) [qualifiers];` as a declaration (annotation carrier).
-  void parse_decl_or_def() {
-    std::string name;
-    std::size_t name_line = 0;
-    bool name_fresh = false;  // the token just consumed ended the name path
-    bool tilde = false;
-    while (!at_end()) {
-      const std::string& t = tok();
-      if (t == ";") {
-        pending_ = 0;
-        ++i_;
-        return;
-      }
-      if (t == "}") return;
-      if (t == "{") {  // brace init or stray block at decl scope
-        skip_balanced("{", "}");
-        continue;
-      }
-      if (t == "=") {
-        ++i_;
-        if (tok() == "default" || tok() == "delete" || tok() == "0") {
-          record_declaration(name);
-        }
-        skip_statement();
-        pending_ = 0;
-        return;
-      }
-      if (t == "~") {
-        tilde = true;
-        name_fresh = false;
-        ++i_;
-        continue;
-      }
-      if (t == "operator") {
-        name = "operator";
-        name_line = cur().line;
-        ++i_;
-        while (!at_end() && tok() != "(" && tok() != ";" && tok() != "{") {
-          name += tok();
-          ++i_;
-        }
-        if (name == "operator" && tok() == "(" && tok(1) == ")") {
-          name += "()";
-          i_ += 2;
-        }
-        name_fresh = true;
-        continue;
-      }
-      if (is_ident_tok(t)) {
-        name = tilde ? "~" + t : t;
-        tilde = false;
-        name_line = cur().line;
-        ++i_;
-        while (tok() == "::" && is_ident_tok(tok(1))) {
-          name += "::" + tok(1);
-          i_ += 2;
-        }
-        name_fresh = true;
-        continue;
-      }
-      if (t == "<") {
-        skip_angles();
-        name_fresh = false;
-        continue;
-      }
-      if (t == "(" && name_fresh && !name.empty()) {
-        skip_balanced("(", ")");
-        if (finish_signature(name, name_line)) return;
-        continue;
-      }
-      if (t == "(") {
-        skip_balanced("(", ")");
-        name_fresh = false;
-        continue;
-      }
-      if (t == "[") {
-        skip_balanced("[", "]");
-        name_fresh = false;
-        continue;
-      }
-      name_fresh = false;
-      ++i_;
-    }
-  }
-
-  /// After `name(...)`: skims qualifiers and decides definition vs
-  /// declaration. Returns true when the statement was fully handled.
-  bool finish_signature(const std::string& name, std::size_t name_line) {
-    while (!at_end()) {
-      const std::string& t = tok();
-      if (t == "{") {
-        register_definition(name, name_line);
-        ++i_;
-        return true;
-      }
-      if (t == ";") {
-        record_declaration(name);
-        pending_ = 0;
-        ++i_;
-        return true;
-      }
-      if (t == "=") {
-        ++i_;
-        if (tok() == "default" || tok() == "delete" || tok() == "0") {
-          record_declaration(name);
-        }
-        skip_statement();
-        pending_ = 0;
-        return true;
-      }
-      if (t == ":") {  // constructor initializer list
-        ++i_;
-        while (!at_end()) {
-          if (tok() == "{") break;  // body
-          if (tok() == "(") {
-            skip_balanced("(", ")");
-            continue;
-          }
-          if (tok() == "<") {
-            skip_angles();
-            continue;
-          }
-          if (is_ident_tok(tok()) || tok() == "::" || tok() == ",") {
-            ++i_;
-            continue;
-          }
-          if (is_ident_tok(tok(0)) && tok(1) == "{") {
-            ++i_;
-            continue;
-          }
-          // Brace init of a member: IDENT was consumed above, so a '{' here
-          // after a ',' chain is an init argument list, not the body — but
-          // we cannot tell; treat "{ preceded by ident-consumed" as init.
-          break;
-        }
-        if (tok() == "{") {
-          // Either the body or a member brace-init. Heuristic: a body brace
-          // is followed by statement-ish tokens; a member init brace is
-          // followed (after its balanced group) by ',' or '{'. Resolve by
-          // balanced lookahead.
-          const std::size_t save = i_;
-          skip_balanced("{", "}");
-          if (tok() == "," || tok() == "{") {
-            // It was an init brace; continue skimming from after it.
-            if (tok() == ",") ++i_;
-            return finish_signature(name, name_line);
-          }
-          // It was the body: rewind and register.
-          i_ = save;
-          register_definition(name, name_line);
-          ++i_;
-          return true;
-        }
-        skip_statement();
-        pending_ = 0;
-        return true;
-      }
-      if (t == "," ) {
-        // Multiple declarators (`int f(), g;`) or a parenthesized variable
-        // initializer — treat as a plain declaration statement.
-        record_declaration(name);
-        skip_statement();
-        pending_ = 0;
-        return true;
-      }
-      if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
-          t == "mutable" || t == "&" || t == "&&" || t == "throw") {
-        ++i_;
-        if (tok() == "(") skip_balanced("(", ")");
-        continue;
-      }
-      if (t == "->") {  // trailing return type
-        ++i_;
-        while (!at_end() && (is_ident_tok(tok()) || tok() == "::" ||
-                             tok() == "*" || tok() == "&" || tok() == "const")) {
-          if (tok(1) == "<") {
-            ++i_;
-            skip_angles();
-          } else {
-            ++i_;
-          }
-        }
-        continue;
-      }
-      if (t == "[") {
-        skip_balanced("[", "]");
-        continue;
-      }
-      if (is_ident_tok(t)) {
-        // Unknown trailing macro qualifier, e.g. PPROX_EXCLUDES(mutex_).
-        ++i_;
-        if (tok() == "(") skip_balanced("(", ")");
-        continue;
-      }
-      // Anything else: not a function after all.
-      skip_statement();
-      pending_ = 0;
-      return true;
-    }
-    return true;
-  }
-
-  void record_declaration(const std::string& name) {
-    if (pending_ == 0 || name.empty()) return;
-    std::string qn = scope_prefix();
-    if (!qn.empty()) qn += "::";
-    qn += name;
-    graph_.decl_annotations[qn] |= pending_;
-    pending_ = 0;
-  }
-
-  void register_definition(const std::string& name, std::size_t line) {
-    std::string qn = scope_prefix();
-    if (!qn.empty()) qn += "::";
-    qn += name;
-    Fn& f = graph_.get_or_create(qn);
-    if (f.file.empty()) {
-      f.file = file_;
-      f.line = line;
-    }
-    f.annotations |= pending_;
-    pending_ = 0;
-    scopes_.push_back(
-        {ScopeKind::kFunction, name, graph_.index.at(qn)});
-  }
-
-  // --- function bodies -----------------------------------------------------
-
-  unsigned line_mask(std::size_t line) const {
-    const auto it = supp_.find(line);
-    if (it == supp_.end()) return kAllEffects;
-    return kAllEffects & ~it->second.effects;
-  }
-
-  void add_leaf(unsigned kind, const std::string& token, std::size_t line) {
-    const int fi = current_fn();
-    if (fi < 0) return;
-    if ((line_mask(line) & kind) == 0) return;  // suppressed on this line
-    Fn& f = graph_.fns[static_cast<std::size_t>(fi)];
-    for (const Leaf& l : f.leaves) {
-      if (l.kind == kind && l.line == line && l.token == token) return;
-    }
-    f.leaves.push_back({kind, token, line});
-    f.own |= kind;
-  }
-
-  void body_token() {
-    const std::string& t = tok();
-    if (t == "{") {
-      scopes_.push_back({ScopeKind::kBlock, "", -1});
-      ++i_;
-      return;
-    }
-    if (t == "}") {
-      if (!scopes_.empty()) scopes_.pop_back();
-      ++i_;
-      return;
-    }
-    const std::size_t line = cur().line;
+  std::size_t i = sp.begin;
+  while (i < sp.end) {
+    const std::string& t = toks[i].text;
+    const std::size_t line = toks[i].line;
     if (t == "new") {
-      add_leaf(kAlloc, "new", line);
-      ++i_;
-      return;
+      add_leaf(p, fi, kAlloc, "new", line, file);
+      ++i;
+      continue;
     }
     if (t == "throw") {
-      add_leaf(kThrow, "throw", line);
-      ++i_;
-      return;
+      add_leaf(p, fi, kThrow, "throw", line, file);
+      ++i;
+      continue;
     }
     if (kLockTypeNames.count(t) != 0) {
-      add_leaf(kBlock, t, line);
-      ++i_;
-      return;
+      add_leaf(p, fi, kBlock, t, line, file);
+      ++i;
+      continue;
     }
-    if (t == "std" && tok(1) == "::" && tok(2) == "function") {
-      add_leaf(kAlloc, "std::function", line);
-      i_ += 3;
-      return;
+    if (t == "std" && text(i + 1) == "::" && text(i + 2) == "function") {
+      add_leaf(p, fi, kAlloc, "std::function", line, file);
+      i += 3;
+      continue;
     }
     // Allocating type construction: Type[<...>] [name] ( / {
-    if (t == "Bytes" || (t == "std" && tok(1) == "::" &&
-                         kAllocTypeNames.count("std::" + tok(2)) != 0)) {
-      const std::string type_name = t == "Bytes" ? "Bytes" : "std::" + tok(2);
-      std::size_t j = i_ + (t == "Bytes" ? 1 : 3);
+    if (t == "Bytes" || (t == "std" && text(i + 1) == "::" &&
+                         kAllocTypeNames.count("std::" + text(i + 2)) != 0)) {
+      const std::string type_name =
+          t == "Bytes" ? "Bytes" : "std::" + text(i + 2);
+      std::size_t j = i + (t == "Bytes" ? 1 : 3);
       // Optional template argument list.
-      if (j < toks_.size() && toks_[j].text == "<") {
+      if (j < toks.size() && toks[j].text == "<") {
         int depth = 0;
         std::size_t k = j;
-        while (k < toks_.size() && k < j + 64) {
-          if (toks_[k].text == "<") ++depth;
-          if (toks_[k].text == ">" && --depth == 0) {
+        while (k < toks.size() && k < j + 64) {
+          if (toks[k].text == "<") ++depth;
+          if (toks[k].text == ">" && --depth == 0) {
             j = k + 1;
             break;
           }
-          if (toks_[k].text == ";" || toks_[k].text == "{") break;
+          if (toks[k].text == ";" || toks[k].text == "{") break;
           ++k;
         }
       }
       const bool direct_call =
-          j < toks_.size() && (toks_[j].text == "(" || toks_[j].text == "{");
+          j < toks.size() && (toks[j].text == "(" || toks[j].text == "{");
       const bool decl_with_args =
-          j + 1 < toks_.size() && is_ident_tok(toks_[j].text) &&
-          (toks_[j + 1].text == "(" || toks_[j + 1].text == "{");
+          j + 1 < toks.size() && cg::is_ident_tok(toks[j].text) &&
+          (toks[j + 1].text == "(" || toks[j + 1].text == "{");
       if (direct_call || decl_with_args) {
-        add_leaf(kAlloc, type_name, line);
+        add_leaf(p, fi, kAlloc, type_name, line, file);
       }
-      ++i_;
-      return;
+      ++i;
+      continue;
     }
-    if (is_ident_tok(t) && kNotACall.count(t) == 0) {
+    if (cg::is_ident_tok(t) && kNotACall.count(t) == 0) {
       // Build a forward qualified path and check for a call.
       std::string name = t;
-      std::size_t j = i_ + 1;
-      while (j + 1 < toks_.size() && toks_[j].text == "::" &&
-             is_ident_tok(toks_[j + 1].text)) {
-        name += "::" + toks_[j + 1].text;
+      std::size_t j = i + 1;
+      while (j + 1 < toks.size() && toks[j].text == "::" &&
+             cg::is_ident_tok(toks[j + 1].text)) {
+        name += "::" + toks[j + 1].text;
         j += 2;
       }
-      const bool call = j < toks_.size() && toks_[j].text == "(";
+      const bool call = j < toks.size() && toks[j].text == "(";
       if (call) {
         const bool member =
-            i_ > 0 && (toks_[i_ - 1].text == "." || toks_[i_ - 1].text == "->");
+            i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
         const bool global =
-            i_ > 0 && toks_[i_ - 1].text == "::" &&
-            (i_ < 2 || !is_ident_tok(toks_[i_ - 2].text));
-        const int fi = current_fn();
-        if (fi >= 0) {
-          graph_.fns[static_cast<std::size_t>(fi)].calls.push_back(
-              {name, member, global, line, line_mask(line)});
-        }
-        i_ = j;  // leave '(' for normal scanning (nested calls)
-        return;
+            i > 0 && toks[i - 1].text == "::" &&
+            (i < 2 || !cg::is_ident_tok(toks[i - 2].text));
+        p.info[static_cast<std::size_t>(fi)].calls.push_back(
+            {name, member, global, line, line_mask(p, file, line)});
+        i = j;  // leave '(' for normal scanning (nested calls)
+        continue;
       }
-      i_ = j;
-      return;
+      i = j;
+      continue;
     }
-    ++i_;
+    ++i;
   }
+}
 
-  std::string file_;
-  std::vector<Tok> toks_;
-  std::map<std::size_t, Suppression> supp_;
-  Graph& graph_;
-  std::vector<Scope> scopes_;
-  std::size_t i_ = 0;
-  unsigned pending_ = 0;
-};
+void extract_effects(Pass& p) {
+  p.info.assign(p.g.fns.size(), Info{});
+  for (std::size_t fi = 0; fi < p.g.fns.size(); ++fi) {
+    for (const cg::Span& sp : p.g.fns[fi].bodies) {
+      replay_span(p, static_cast<int>(fi), sp);
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Resolution, SCCs, propagation.
 // ---------------------------------------------------------------------------
-
-std::string last_component(const std::string& qname) {
-  const std::size_t sep = qname.rfind("::");
-  return sep == std::string::npos ? qname : qname.substr(sep + 2);
-}
 
 /// Applies the builtin leaf tables to a call site. Returns the effect kind
 /// (0 when the call is not a builtin leaf). Builtin names shadow scanned
 /// functions by design: anything named push_back or lock is treated as the
 /// std/sync primitive it almost certainly is, which keeps chains finite.
 unsigned builtin_effect(const CallSite& c) {
-  const std::string last = last_component(c.name);
+  const std::string last = cg::last_component(c.name);
   if (kAllocTypeNames.count(c.name) != 0) return kAlloc;
   if (kAllocCallNames.count(last) != 0) return kAlloc;
   if (kBlockCallNames.count(last) != 0) return kBlock;
@@ -1003,16 +335,13 @@ unsigned builtin_effect(const CallSite& c) {
   return 0;
 }
 
-void resolve_calls(Graph& g) {
-  // Index by last name component for unqualified resolution.
-  std::map<std::string, std::vector<int>> by_last;
-  for (std::size_t i = 0; i < g.fns.size(); ++i) {
-    by_last[last_component(g.fns[i].qname)].push_back(static_cast<int>(i));
-  }
-  for (std::size_t i = 0; i < g.fns.size(); ++i) {
-    Fn& f = g.fns[i];
+void resolve_calls(Pass& p) {
+  const auto by_last = cg::index_by_last(p.g);
+  for (std::size_t i = 0; i < p.g.fns.size(); ++i) {
+    Info& f = p.info[i];
     for (const CallSite& c : f.calls) {
-      if (c.member && kNeutralMemberNames.count(last_component(c.name)) != 0) {
+      if (c.member &&
+          kNeutralMemberNames.count(cg::last_component(c.name)) != 0) {
         continue;  // receiver-dot accessor: effect-free, never a scanned fn
       }
       const unsigned builtin = builtin_effect(c);
@@ -1032,36 +361,7 @@ void resolve_calls(Graph& g) {
         }
         continue;  // builtin leaves terminate the chain: no edges
       }
-      std::vector<int> targets;
-      if (c.name.find("::") != std::string::npos) {
-        // Qualified: exact or suffix match against scanned names.
-        for (std::size_t t = 0; t < g.fns.size(); ++t) {
-          const std::string& qn = g.fns[t].qname;
-          if (qn == c.name ||
-              (qn.size() > c.name.size() + 2 &&
-               qn.compare(qn.size() - c.name.size() - 2, 2, "::") == 0 &&
-               qn.compare(qn.size() - c.name.size(), c.name.size(), c.name) ==
-                   0)) {
-            targets.push_back(static_cast<int>(t));
-          }
-        }
-      } else {
-        // Unqualified or member call: prefer the caller's own class, else
-        // fall back to every scanned function with this name (the documented
-        // virtual-call / unknown-receiver policy).
-        if (!f.cls.empty()) {
-          const auto it = g.index.find(f.cls + "::" + c.name);
-          if (it != g.index.end()) targets.push_back(it->second);
-        }
-        if (targets.empty()) {
-          const auto it = by_last.find(c.name);
-          if (it != by_last.end()) targets = it->second;
-        }
-      }
-      for (int t : targets) {
-        if (t == static_cast<int>(i) && !c.member && c.name == f.qname) {
-          // exact self call — keep, SCC pass flags it
-        }
+      for (int t : cg::resolve_name(p.g, by_last, p.g.fns[i], c.name)) {
         f.edges.emplace_back(t, c.mask);
       }
     }
@@ -1070,8 +370,8 @@ void resolve_calls(Graph& g) {
 
 /// Tarjan SCC; every function in a nontrivial SCC (or with a self-edge)
 /// gets the recursion leaf.
-void mark_recursion(Graph& g) {
-  const std::size_t n = g.fns.size();
+void mark_recursion(Pass& p) {
+  const std::size_t n = p.g.fns.size();
   std::vector<int> indices(n, -1), low(n, 0);
   std::vector<bool> on_stack(n, false);
   std::vector<int> stack;
@@ -1090,7 +390,7 @@ void mark_recursion(Graph& g) {
     on_stack[root] = true;
     while (!work.empty()) {
       Frame& fr = work.back();
-      const auto& edges = g.fns[static_cast<std::size_t>(fr.v)].edges;
+      const auto& edges = p.info[static_cast<std::size_t>(fr.v)].edges;
       if (fr.edge < edges.size()) {
         const int w = edges[fr.edge++].first;
         if (indices[static_cast<std::size_t>(w)] == -1) {
@@ -1126,25 +426,20 @@ void mark_recursion(Graph& g) {
           bool cyclic = scc.size() > 1;
           if (!cyclic) {
             for (const auto& [t, mask] :
-                 g.fns[static_cast<std::size_t>(v)].edges) {
+                 p.info[static_cast<std::size_t>(v)].edges) {
               (void)mask;
               if (t == v) cyclic = true;
             }
           }
           if (cyclic) {
             for (int w : scc) {
-              Fn& f = g.fns[static_cast<std::size_t>(w)];
+              const cg::Fn& fn = p.g.fns[static_cast<std::size_t>(w)];
+              Info& f = p.info[static_cast<std::size_t>(w)];
               // The recursion leaf anchors to the definition line, so a
               // PPROX-HOTPATH-OK(recursion) comment on that line drops it —
               // same contract as every other leaf kind.
-              const auto fit = g.line_suppressions.find(f.file);
-              if (fit != g.line_suppressions.end()) {
-                const auto lit = fit->second.find(f.line);
-                if (lit != fit->second.end() && (lit->second & kRecur) != 0) {
-                  continue;
-                }
-              }
-              f.leaves.push_back({kRecur, "recursion-cycle", f.line});
+              if ((line_mask(p, fn.file, fn.line) & kRecur) == 0) continue;
+              f.leaves.push_back({kRecur, "recursion-cycle", fn.line});
               f.own |= kRecur;
             }
           }
@@ -1154,16 +449,16 @@ void mark_recursion(Graph& g) {
   }
 }
 
-void propagate(Graph& g) {
-  for (Fn& f : g.fns) f.reach = f.own;
+void propagate(Pass& p) {
+  for (Info& f : p.info) f.reach = f.own;
   bool changed = true;
   std::size_t guard = 0;
-  while (changed && guard++ < g.fns.size() + 8) {
+  while (changed && guard++ < p.info.size() + 8) {
     changed = false;
-    for (Fn& f : g.fns) {
+    for (Info& f : p.info) {
       unsigned r = f.own;
       for (const auto& [t, mask] : f.edges) {
-        r |= g.fns[static_cast<std::size_t>(t)].reach & mask;
+        r |= p.info[static_cast<std::size_t>(t)].reach & mask;
       }
       if (r != f.reach) {
         f.reach = r;
@@ -1177,11 +472,11 @@ void propagate(Graph& g) {
 // Findings: per annotated root, shortest chain to every offending leaf fn.
 // ---------------------------------------------------------------------------
 
-std::string display_chain(const Graph& g, const std::vector<int>& parent,
+std::string display_chain(const Pass& p, const std::vector<int>& parent,
                           int leaf) {
   std::vector<std::string> names;
   for (int v = leaf; v != -1; v = parent[static_cast<std::size_t>(v)]) {
-    names.push_back(g.fns[static_cast<std::size_t>(v)].qname);
+    names.push_back(p.g.fns[static_cast<std::size_t>(v)].qname);
   }
   std::reverse(names.begin(), names.end());
   std::string out;
@@ -1192,7 +487,7 @@ std::string display_chain(const Graph& g, const std::vector<int>& parent,
   return out;
 }
 
-void collect_findings(const Graph& g, std::vector<Finding>& findings) {
+void collect_findings(const Pass& p, std::vector<Finding>& findings) {
   struct RuleSpec {
     unsigned annotation;
     unsigned kind;
@@ -1200,27 +495,27 @@ void collect_findings(const Graph& g, std::vector<Finding>& findings) {
     const char* what;
   };
   static const RuleSpec kRules[] = {
-      {kAnnHot, kAlloc, "hot-alloc", "heap allocation"},
-      {kAnnHot, kThrow, "hot-throw", "exception throw"},
-      {kAnnHot, kRecur, "hot-recursion", "recursion cycle"},
-      {kAnnNonblocking, kBlock, "nonblocking-block", "blocking operation"},
-      {kAnnEcall, kAlloc, "ecall-alloc",
+      {cg::kAnnHot, kAlloc, "hot-alloc", "heap allocation"},
+      {cg::kAnnHot, kThrow, "hot-throw", "exception throw"},
+      {cg::kAnnHot, kRecur, "hot-recursion", "recursion cycle"},
+      {cg::kAnnNonblocking, kBlock, "nonblocking-block", "blocking operation"},
+      {cg::kAnnEcall, kAlloc, "ecall-alloc",
        "heap allocation inside the enclave boundary"},
-      {kAnnEcall, kBlock, "ecall-block",
+      {cg::kAnnEcall, kBlock, "ecall-block",
        "blocking operation inside the enclave boundary"},
   };
   const char* kAnnName[] = {"PPROX_HOT", "PPROX_NONBLOCKING",
                             "PPROX_ECALL_BOUNDARY"};
 
-  for (std::size_t ri = 0; ri < g.fns.size(); ++ri) {
-    const Fn& root = g.fns[ri];
+  for (std::size_t ri = 0; ri < p.g.fns.size(); ++ri) {
+    const cg::Fn& root = p.g.fns[ri];
     if (root.annotations == 0) continue;
     for (const RuleSpec& spec : kRules) {
       if ((root.annotations & spec.annotation) == 0) continue;
-      if ((root.reach & spec.kind) == 0) continue;
+      if ((p.info[ri].reach & spec.kind) == 0) continue;
       // BFS over edges that let this effect through.
-      std::vector<int> parent(g.fns.size(), -1);
-      std::vector<bool> seen(g.fns.size(), false);
+      std::vector<int> parent(p.g.fns.size(), -1);
+      std::vector<bool> seen(p.g.fns.size(), false);
       std::queue<int> q;
       q.push(static_cast<int>(ri));
       seen[ri] = true;
@@ -1230,9 +525,9 @@ void collect_findings(const Graph& g, std::vector<Finding>& findings) {
         q.pop();
         order.push_back(v);
         for (const auto& [t, mask] :
-             g.fns[static_cast<std::size_t>(v)].edges) {
+             p.info[static_cast<std::size_t>(v)].edges) {
           if ((mask & spec.kind) == 0) continue;
-          if ((g.fns[static_cast<std::size_t>(t)].reach & spec.kind) == 0) {
+          if ((p.info[static_cast<std::size_t>(t)].reach & spec.kind) == 0) {
             continue;
           }
           if (!seen[static_cast<std::size_t>(t)]) {
@@ -1243,15 +538,16 @@ void collect_findings(const Graph& g, std::vector<Finding>& findings) {
         }
       }
       const char* ann_name =
-          spec.annotation == kAnnHot
+          spec.annotation == cg::kAnnHot
               ? kAnnName[0]
-              : (spec.annotation == kAnnNonblocking ? kAnnName[1]
-                                                    : kAnnName[2]);
+              : (spec.annotation == cg::kAnnNonblocking ? kAnnName[1]
+                                                        : kAnnName[2]);
       for (int v : order) {
-        const Fn& leaf_fn = g.fns[static_cast<std::size_t>(v)];
-        if ((leaf_fn.own & spec.kind) == 0) continue;
+        const cg::Fn& leaf_fn = p.g.fns[static_cast<std::size_t>(v)];
+        const Info& leaf_info = p.info[static_cast<std::size_t>(v)];
+        if ((leaf_info.own & spec.kind) == 0) continue;
         const Leaf* leaf = nullptr;
-        for (const Leaf& l : leaf_fn.leaves) {
+        for (const Leaf& l : leaf_info.leaves) {
           if (l.kind == spec.kind) {
             leaf = &l;
             break;
@@ -1264,7 +560,7 @@ void collect_findings(const Graph& g, std::vector<Finding>& findings) {
                 leaf_fn.qname + "|" + leaf->token;
         f.path = leaf_fn.file.empty() ? root.file : leaf_fn.file;
         f.line = leaf->line != 0 ? leaf->line : leaf_fn.line;
-        f.chain = display_chain(g, parent, v);
+        f.chain = display_chain(p, parent, v);
         f.message = std::string(ann_name) + " " + root.qname + " reaches " +
                     spec.what + " '" + leaf->token + "': " + f.chain +
                     "; fix it, suppress the leaf line with // " +
@@ -1276,121 +572,13 @@ void collect_findings(const Graph& g, std::vector<Finding>& findings) {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Baseline and output.
-// ---------------------------------------------------------------------------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// Reads the "hotpath" entry list: [{"key": "...", "why": "..."}, ...].
-/// Returns key -> why, or nullopt-equivalent via ok=false.
-bool parse_baseline(const std::string& path,
-                    std::map<std::string, std::string>& entries) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const std::size_t anchor = text.find("\"hotpath\"");
-  if (anchor == std::string::npos) return false;
-  std::size_t pos = text.find('[', anchor);
-  if (pos == std::string::npos) return false;
-
-  auto read_string = [&text](std::size_t from, std::string& out,
-                             std::size_t& end) {
-    const std::size_t q1 = text.find('"', from);
-    if (q1 == std::string::npos) return false;
-    std::size_t q2 = q1 + 1;
-    while (q2 < text.size() && text[q2] != '"') {
-      if (text[q2] == '\\') ++q2;
-      ++q2;
-    }
-    if (q2 >= text.size()) return false;
-    out = text.substr(q1 + 1, q2 - q1 - 1);
-    end = q2 + 1;
-    return true;
-  };
-
-  while (true) {
-    const std::size_t key_pos = text.find("\"key\"", pos);
-    if (key_pos == std::string::npos) break;
-    const std::size_t colon = text.find(':', key_pos + 5);
-    if (colon == std::string::npos) break;
-    std::string key;
-    std::size_t after = 0;
-    if (!read_string(colon + 1, key, after)) break;
-    std::string why;
-    const std::size_t why_pos = text.find("\"why\"", after);
-    const std::size_t next_key = text.find("\"key\"", after);
-    if (why_pos != std::string::npos &&
-        (next_key == std::string::npos || why_pos < next_key)) {
-      const std::size_t wcolon = text.find(':', why_pos + 5);
-      std::size_t wend = 0;
-      if (wcolon != std::string::npos) read_string(wcolon + 1, why, wend);
-    }
-    entries[key] = why;
-    pos = after;
-  }
-  return true;
-}
-
-bool write_baseline(const std::string& path,
-                    const std::vector<Finding>& findings,
-                    const std::map<std::string, std::string>& old_whys) {
-  std::map<std::string, std::string> entries;  // key -> why (sorted, deduped)
-  for (const Finding& f : findings) {
-    const auto it = old_whys.find(f.key);
-    entries[f.key] = it != old_whys.end() && !it->second.empty()
-                         ? it->second
-                         : "baselined pre-existing violation; shrink, do not "
-                           "grow (DESIGN.md §11.4)";
-  }
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "{\n  \"hotpath\": [";
-  bool first = true;
-  for (const auto& [key, why] : entries) {
-    out << (first ? "" : ",") << "\n    {\"key\": \"" << json_escape(key)
-        << "\",\n     \"why\": \"" << json_escape(why) << "\"}";
-    first = false;
-  }
-  out << (first ? "" : "\n  ") << "]\n}\n";
-  return true;
-}
-
-void print_json(const std::vector<Finding>& findings, std::size_t files) {
-  std::cout << "{\n  \"mode\": \"hotpath\",\n  \"files\": " << files
-            << ",\n  \"total\": " << findings.size() << ",\n  \"findings\": [";
-  bool first = true;
-  for (const Finding& f : findings) {
-    std::cout << (first ? "" : ",") << "\n    {\"path\": \""
-              << json_escape(f.path) << "\", \"line\": " << f.line
-              << ", \"rule\": \"" << f.rule << "\", \"key\": \""
-              << json_escape(f.key) << "\", \"chain\": \""
-              << json_escape(f.chain) << "\", \"message\": \""
-              << json_escape(f.message) << "\"}";
-    first = false;
-  }
-  std::cout << (first ? "" : "\n  ") << "]\n}\n";
-}
-
 }  // namespace
 
 int run(const Options& opts) {
-  Graph graph;
+  Pass p;
   std::size_t files = 0;
+  // The marker is split so this tool's own sources never self-match.
+  const std::string marker = std::string("PPROX-HOTPATH-") + "OK(";
   for (const fs::path& path : opts.inputs) {
     std::ifstream in(path);
     if (!in) {
@@ -1402,7 +590,7 @@ int run(const Options& opts) {
     while (std::getline(in, line)) raw.push_back(line);
     ++files;
 
-    auto supp = scan_suppressions(raw);
+    const auto supp = cg::scan_suppressions(raw, marker, &effect_from_name);
     for (const auto& [ln, s] : supp) {
       if (!s.bare) continue;
       Finding f;
@@ -1416,112 +604,36 @@ int run(const Options& opts) {
           "hot-path suppression without a justification; write "
           "PPROX-HOTPATH-" "OK(<effect>): <why> (the bare form suppresses "
           "nothing)";
-      graph.bare_findings.push_back(std::move(f));
+      p.bare_findings.push_back(std::move(f));
     }
     for (const auto& [ln, s] : supp) {
-      if (!s.bare) graph.line_suppressions[path.string()][ln] |= s.effects;
+      if (!s.bare) p.line_suppressions[path.string()][ln] |= s.effects;
     }
-    Parser parser(path.string(), tokenize(code_lines(raw)), std::move(supp),
-                  graph);
-    parser.parse();
+    p.g.add_tu(path.string(), cg::tokenize(cg::code_lines(raw)));
   }
 
-  // Merge annotations recorded on declarations into their definitions.
-  for (const auto& [qname, ann] : graph.decl_annotations) {
-    graph.get_or_create(qname).annotations |= ann;
-  }
+  p.g.merge_decl_annotations();
 
-  resolve_calls(graph);
-  mark_recursion(graph);
-  propagate(graph);
+  extract_effects(p);
+  resolve_calls(p);
+  mark_recursion(p);
+  propagate(p);
 
-  std::vector<Finding> findings = std::move(graph.bare_findings);
-  collect_findings(graph, findings);
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const Finding& a, const Finding& b) {
-                     return std::tie(a.path, a.line, a.key) <
-                            std::tie(b.path, b.line, b.key);
-                   });
+  std::vector<Finding> findings = std::move(p.bare_findings);
+  collect_findings(p, findings);
 
-  if (!opts.baseline_write.empty()) {
-    std::map<std::string, std::string> old_whys;
-    parse_baseline(opts.baseline_write, old_whys);  // best effort carry-over
-    if (!write_baseline(opts.baseline_write, findings, old_whys)) {
-      std::cerr << "pprox_lint: cannot write baseline "
-                << opts.baseline_write << "\n";
-      return 2;
-    }
-    std::cout << "pprox_lint: wrote " << findings.size()
-              << " hotpath baseline entr"
-              << (findings.size() == 1 ? "y" : "ies") << " to "
-              << opts.baseline_write << "\n";
-    return 0;
-  }
-
-  if (opts.json) {
-    print_json(findings, files);
-  } else if (opts.baseline.empty()) {
-    for (const Finding& f : findings) {
-      std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
-                << f.message << "\n";
-    }
-  }
-
-  if (!opts.baseline.empty()) {
-    std::map<std::string, std::string> base;
-    if (!parse_baseline(opts.baseline, base)) {
-      std::cerr << "pprox_lint: cannot parse hotpath baseline "
-                << opts.baseline << "\n";
-      return 2;
-    }
-    std::set<std::string> current;
-    bool regressed = false;
-    for (const Finding& f : findings) {
-      current.insert(f.key);
-      const bool bare = f.rule == "hotpath-bare-suppression";
-      if (!bare && base.count(f.key) != 0) continue;  // ratcheted, silent
-      // New key (or a bare suppression, which is never baselinable): print
-      // the full finding — in ratchet mode only regressions make noise.
-      if (!opts.json) {
-        std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
-                  << f.message << "\n";
-      }
-      std::cerr << "pprox_lint: REGRESSION: "
-                << (bare ? "bare suppression is never baselinable: "
-                         : "new hot-path violation not in baseline: ")
-                << f.key << "\n";
-      regressed = true;
-    }
-    std::size_t stale = 0;
-    for (const auto& [key, why] : base) {
-      (void)why;
-      if (current.count(key) == 0) {
-        std::cerr << "pprox_lint: note: baseline entry no longer fires "
-                     "(tighten with --baseline-write): "
-                  << key << "\n";
-        ++stale;
-      }
-    }
-    if (regressed) return 1;
-    if (!opts.json) {
-      std::cout << "pprox_lint: " << files << " file(s), " << findings.size()
-                << " hot-path finding(s), all within baseline";
-      if (stale != 0) std::cout << " (" << stale << " stale entr"
-                                << (stale == 1 ? "y" : "ies") << ")";
-      std::cout << "\n";
-    }
-    return 0;
-  }
-
-  if (!findings.empty()) {
-    std::cerr << findings.size() << " hot-path finding(s) in " << files
-              << " file(s)\n";
-    return 1;
-  }
-  if (!opts.json) {
-    std::cout << "pprox_lint: " << files << " file(s) hot-path clean\n";
-  }
-  return 0;
+  cg::ReportSpec spec;
+  spec.mode = "hotpath";
+  spec.anchor = "hotpath";
+  spec.what = "hot-path";
+  spec.bare_rule = "hotpath-bare-suppression";
+  spec.default_why =
+      "baselined pre-existing violation; shrink, do not grow (DESIGN.md "
+      "§11.4)";
+  spec.json = opts.json;
+  spec.baseline = opts.baseline;
+  spec.baseline_write = opts.baseline_write;
+  return cg::report(spec, findings, files);
 }
 
 }  // namespace hotpath
