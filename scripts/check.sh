@@ -4,7 +4,9 @@
 #   1. crypto-hygiene + information-flow lint (tools/pprox_lint --flow) over
 #      every layered directory, gated against tools/lint_baseline.json
 #   2. hot-path discipline lint (tools/pprox_lint --hotpath) over the whole
-#      src/ tree, gated against tools/hotpath_baseline.json (DESIGN.md §11)
+#      src/ tree, gated against tools/hotpath_baseline.json (DESIGN.md §11),
+#      then lock discipline (--locks, §12) and constant-time discipline
+#      (--ct, §13) over src/ against their committed baselines
 #   3. negative-compile suite (tests/compile_fail/): taint-domain violations
 #      must fail to compile
 #   4. lint golden fixtures (tests/lint_fixtures/): analyzer behaviour pins
@@ -218,6 +220,10 @@ step "lock-discipline lint (pprox_lint --locks, DESIGN.md §12)"
 "$ROOT/build-asan/tools/pprox_lint" --locks \
     --baseline "$ROOT/tools/locks_baseline.json" "$ROOT/src"
 
+step "constant-time discipline lint (pprox_lint --ct, DESIGN.md §13)"
+"$ROOT/build-asan/tools/pprox_lint" --ct \
+    --baseline "$ROOT/tools/ct_baseline.json" "$ROOT/src"
+
 step "negative-compile suite (taint-domain violations must not build)"
 # Most cases drive the compiler directly (-fsyntax-only), but the
 # detthread_double_join pair is a negative-RUN case and needs its binaries.
@@ -226,7 +232,7 @@ configure_and_build build-asan "address;undefined" \
 ctest --test-dir "$ROOT/build-asan" -R '^compile_fail_' \
       --output-on-failure -j "$JOBS"
 
-step "lint golden fixtures (hotpath + locks + flow analyzer pins)"
+step "lint golden fixtures (hotpath + locks + ct + flow analyzer pins)"
 ctest --test-dir "$ROOT/build-asan" -R '^lint_fixture_' \
       --output-on-failure -j "$JOBS"
 

@@ -21,6 +21,8 @@ void Adversary::steal_ia_secrets(LayerSecrets secrets) {
 Result<std::string> Adversary::decrypt_identifier(
     const crypto::RsaPrivateKey& sk, const std::string& base64_field) const {
   const auto cipher = base64_decode(base64_field);
+  // PPROX-CT-OK(branch): adversary-model code outside the enclave; it runs on
+  // data the attack already holds, so its timing leaks nothing to anyone.
   if (!cipher) return Error::parse("field not base64");
   auto block = crypto::rsa_decrypt_oaep(sk, *cipher);
   if (!block.ok()) return block.error();
@@ -30,6 +32,7 @@ Result<std::string> Adversary::decrypt_identifier(
 Result<std::string> Adversary::de_pseudonymize(
     const Bytes& key, const std::string& base64_field) const {
   const auto cipher = base64_decode(base64_field);
+  // PPROX-CT-OK(branch): adversary-model code; see decrypt_identifier above.
   if (!cipher || cipher->size() != kIdBlockSize) {
     return Error::parse("pseudonym malformed");
   }
@@ -64,14 +67,17 @@ bool Adversary::can_link(const std::string& user, const std::string& item,
   for (const auto& message : intercepts) {
     const auto u = recover_user(message);
     const auto i = recover_item(message);
+    // PPROX-CT-OK(branch): adversary-side linkage test over its own loot.
     if (u.ok() && i.ok() && u.value() == user && i.value() == item) return true;
   }
   // Route 2: de-pseudonymize a database row (needs kUA *and* kIA).
   for (const auto& row : database) {
     const auto u = de_pseudonymize_user(row);
     const auto i = de_pseudonymize_item(row);
+    // PPROX-CT-OK(branch): adversary-side linkage test over its own loot.
     if (u.ok() && i.ok() && u.value() == user && i.value() == item) return true;
     // Route 2b (item pseudonymization disabled): item stored in clear.
+    // PPROX-CT-OK(branch): adversary-side linkage test over its own loot.
     if (u.ok() && u.value() == user && row.item_pseudonym == item) return true;
   }
   // Route 3: half-decrypt an intercept, half-decrypt the database, joined on

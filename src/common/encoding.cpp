@@ -61,23 +61,26 @@ std::string base64_encode(ByteView data) {
   std::size_t i = 0;
   for (; i + 3 <= data.size(); i += 3) {
     const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
-    out.push_back(kB64Alphabet[(n >> 18) & 63]);
-    out.push_back(kB64Alphabet[(n >> 12) & 63]);
-    out.push_back(kB64Alphabet[(n >> 6) & 63]);
-    out.push_back(kB64Alphabet[n & 63]);
+    // Base64 is the wire format: its input here is ciphertext or a pseudonym
+    // — exactly the bytes the network observer already sees — so the table
+    // lookups index public data. (Callers must not feed it raw plaintext.)
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);  // PPROX-CT-OK(index): wire bytes
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);  // PPROX-CT-OK(index): wire bytes
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);   // PPROX-CT-OK(index): wire bytes
+    out.push_back(kB64Alphabet[n & 63]);          // PPROX-CT-OK(index): wire bytes
   }
   const std::size_t rem = data.size() - i;
   if (rem == 1) {
     const std::uint32_t n = data[i] << 16;
-    out.push_back(kB64Alphabet[(n >> 18) & 63]);
-    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);  // PPROX-CT-OK(index): wire bytes
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);  // PPROX-CT-OK(index): wire bytes
     out.push_back('=');
     out.push_back('=');
   } else if (rem == 2) {
     const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8);
-    out.push_back(kB64Alphabet[(n >> 18) & 63]);
-    out.push_back(kB64Alphabet[(n >> 12) & 63]);
-    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);  // PPROX-CT-OK(index): wire bytes
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);  // PPROX-CT-OK(index): wire bytes
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);   // PPROX-CT-OK(index): wire bytes
     out.push_back('=');
   }
   return out;
@@ -91,10 +94,14 @@ std::optional<Bytes> base64_decode(std::string_view text) {
     std::uint8_t v[4];
     int pad = 0;
     for (int j = 0; j < 4; ++j) {
+      // PPROX-CT-OK(index): decodes adversary-supplied wire text, not secrets.
       v[j] = kB64Reverse[static_cast<unsigned char>(text[i + j])];
+      // PPROX-CT-OK(branch): validity of adversary-supplied wire text.
       if (v[j] == 0xFF) return std::nullopt;
+      // PPROX-CT-OK(branch): validity of adversary-supplied wire text.
       if (v[j] == 0xFE) {
         // '=' only allowed in the last group, positions 2 and/or 3.
+        // PPROX-CT-OK(branch): validity of adversary-supplied wire text.
         if (i + 4 != text.size() || j < 2) return std::nullopt;
         ++pad;
         v[j] = 0;

@@ -59,33 +59,31 @@ void mont_mul(const std::uint32_t* a, const std::uint32_t* b,
     t[s] = static_cast<std::uint32_t>(t[s + 1] + (cur >> 32));
     t[s + 1] = 0;
   }
-  // CIOS guarantees t < 2n here; one conditional subtract normalizes.
-  bool ge = t[s] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = s; i-- > 0;) {
-      if (t[i] != n[i]) {
-        ge = t[i] > n[i];
-        break;
-      }
-    }
+  // CIOS guarantees t < 2n here; one conditional subtract normalizes. The
+  // limbs are secret (intermediate modexp state), so both the comparison and
+  // the subtract must be branch-free: a compare-with-early-break or a
+  // `diff < 0` borrow branch keys instruction counts to limb values, which
+  // is exactly the class of leak pprox_lint --ct rejects (DESIGN.md §13.4).
+  // Pass 1 derives the would-be borrow of t - n without storing it.
+  std::uint32_t bw = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::uint64_t d =
+        static_cast<std::uint64_t>(t[i]) - n[i] - bw;
+    bw = static_cast<std::uint32_t>(d >> 32) & 1u;
   }
-  if (ge) {
-    std::int64_t borrow = 0;
-    for (std::size_t i = 0; i < s; ++i) {
-      std::int64_t diff =
-          static_cast<std::int64_t>(t[i]) - static_cast<std::int64_t>(n[i]) -
-          borrow;
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      t[i] = static_cast<std::uint32_t>(diff);
-    }
-    t[s] = 0;
+  // t >= n iff the top scratch limb is set or the subtract doesn't borrow.
+  const std::uint32_t ts_nz = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(t[s]) + 0xFFFFFFFFull) >> 32);
+  const std::uint32_t mask = 0u - (ts_nz | (bw ^ 1u));
+  // Pass 2 subtracts n & mask — all limbs or none, same work either way.
+  std::uint32_t bw2 = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::uint64_t d =
+        static_cast<std::uint64_t>(t[i]) - (n[i] & mask) - bw2;
+    t[i] = static_cast<std::uint32_t>(d);
+    bw2 = static_cast<std::uint32_t>(d >> 32) & 1u;
   }
+  t[s] = 0;  // any overflow limb was consumed by the subtract's borrow
 }
 
 int hex_digit(char c) {
@@ -430,8 +428,12 @@ BigInt BigInt::modexp_montgomery(const BigInt& exponent,
             one_m.begin());
 
   // 4-bit fixed window: 16-entry table of base powers in Montgomery form.
-  // Not constant-time (table index and the w==0 skip depend on exponent
-  // bits) — matching the divmod path's status; see DESIGN.md §10.
+  // The window multiply below is unconditional (table[0] holds 1*R, so a
+  // zero window multiplies by the Montgomery one — a value no-op at the
+  // same cost), which makes the mont_mul count a function of bit_length
+  // alone. Residual channel: the table is indexed by the secret window, so
+  // a cache-line probe could still recover exponent nibbles; DESIGN.md §13
+  // records that limit (scatter-gather table layout is future work).
   constexpr std::size_t kWindow = 4;
   std::vector<std::uint32_t> table(16 * s);
   std::copy(one_m.begin(), one_m.end(), table.begin());
@@ -458,12 +460,12 @@ BigInt BigInt::modexp_montgomery(const BigInt& exponent,
     for (std::size_t j = kWindow; j-- > 0;) {
       w = (w << 1) | (exponent.bit(kWindow * k + j) ? 1u : 0u);
     }
-    if (w != 0) {
-      mont_mul(acc.data(), table.data() + w * s, n, n0, s, t.data());
-      std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(s),
-                tmp.begin());
-      acc.swap(tmp);
-    }
+    // PPROX-CT-OK(index): fixed-window table select; cache-channel residual
+    // documented in DESIGN.md §13.4, timing cost is window-value independent
+    mont_mul(acc.data(), table.data() + w * s, n, n0, s, t.data());
+    std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(s),
+              tmp.begin());
+    acc.swap(tmp);
   }
 
   // Leave Montgomery form: acc * 1 * R^{-1} = value mod n.

@@ -75,7 +75,8 @@ class BigInt {
 
   /// Montgomery CIOS multiplication + 4-bit fixed-window exponentiation.
   /// modulus must be odd and nonzero (throws std::domain_error otherwise).
-  /// Neither modexp path is constant-time; see DESIGN.md §10.
+  /// Fixed square-and-multiply shape with a branch-free final subtract;
+  /// the divmod reference path is NOT constant-time (DESIGN.md §13.4).
   BigInt modexp_montgomery(const BigInt& exponent, const BigInt& modulus) const;
 
   static BigInt gcd(BigInt a, BigInt b);

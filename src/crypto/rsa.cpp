@@ -102,24 +102,35 @@ Result<Bytes> rsa_encrypt_pkcs1(const RsaPublicKey& key, ByteView plaintext,
   return rsa_public_op(key, m).to_bytes_be(k);
 }
 
+Result<Bytes> rsa_unpad_pkcs1(ByteView em) {
+  if (em.size() < 11) return Error::crypto("PKCS1: bad padding");
+  // EM = 0x00 || 0x02 || PS(>= 8 nonzero bytes) || 0x00 || M. Fold every
+  // structural check into one accumulator and find the first zero byte
+  // without branching on byte values: a data-dependent early exit would
+  // hand a Bleichenbacher oracle the separator position.
+  std::uint8_t bad = em[0];
+  bad = static_cast<std::uint8_t>(bad | (em[1] ^ 0x02));
+  std::size_t sep = 0;
+  std::size_t found = 0;
+  for (std::size_t i = 2; i < em.size(); ++i) {
+    const std::size_t is_zero = ct_eq_u8(em[i], 0x00);
+    sep = ct_select_size(is_zero & (found ^ 1), i, sep);
+    found |= is_zero;
+  }
+  bad = static_cast<std::uint8_t>(bad | (found ^ 1));
+  // PS must be at least 8 bytes, so the separator sits at index >= 10.
+  bad = static_cast<std::uint8_t>(bad | ct_lt_size(sep, 10));
+  if (ct_reveal(bad) != 0) return Error::crypto("PKCS1: bad padding");
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep) + 1, em.end());
+}
+
 Result<Bytes> rsa_decrypt_pkcs1(const RsaPrivateKey& key, ByteView ciphertext) {
   const std::size_t k = key.modulus_bytes();
   if (ciphertext.size() != k) return Error::crypto("PKCS1: bad ciphertext size");
   const BigInt c = BigInt::from_bytes_be(ciphertext);
   if (c >= key.n) return Error::crypto("PKCS1: ciphertext out of range");
   const Bytes em = rsa_private_op(key, c).to_bytes_be(k);
-  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) {
-    return Error::crypto("PKCS1: bad padding");
-  }
-  std::size_t sep = 0;
-  for (std::size_t i = 2; i < em.size(); ++i) {
-    if (em[i] == 0x00) {
-      sep = i;
-      break;
-    }
-  }
-  if (sep < 10) return Error::crypto("PKCS1: bad padding");
-  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep) + 1, em.end());
+  return rsa_unpad_pkcs1(em);
 }
 
 Bytes mgf1_sha256(ByteView seed, std::size_t length) {
@@ -172,15 +183,9 @@ Result<Bytes> rsa_encrypt_oaep(const RsaPublicKey& key, ByteView plaintext,
   return rsa_public_op(key, m).to_bytes_be(k);
 }
 
-Result<Bytes> rsa_decrypt_oaep(const RsaPrivateKey& key, ByteView ciphertext) {
+Result<Bytes> rsa_unpad_oaep(ByteView em) {
   constexpr std::size_t h = Sha256::kDigestSize;
-  const std::size_t k = key.modulus_bytes();
-  if (ciphertext.size() != k || k < 2 * h + 2) {
-    return Error::crypto("OAEP: bad ciphertext size");
-  }
-  const BigInt c = BigInt::from_bytes_be(ciphertext);
-  if (c >= key.n) return Error::crypto("OAEP: ciphertext out of range");
-  const Bytes em = rsa_private_op(key, c).to_bytes_be(k);
+  if (em.size() < 2 * h + 2) return Error::crypto("OAEP: bad ciphertext size");
 
   Bytes seed(em.begin() + 1, em.begin() + 1 + h);
   Bytes db(em.begin() + 1 + static_cast<std::ptrdiff_t>(h), em.end());
@@ -191,23 +196,41 @@ Result<Bytes> rsa_decrypt_oaep(const RsaPrivateKey& key, ByteView ciphertext) {
 
   const auto l_hash = Sha256::digest(ByteView());
   // Single aggregated validity flag: avoid early exits that would leak which
-  // check failed (Manger-style oracle hardening).
+  // check failed (Manger-style oracle hardening). The separator scan is
+  // branch-free too: DB = lHash || PS(zeros) || 0x01 || M, and any nonzero
+  // non-0x01 byte inside PS must poison `bad` without revealing where.
   std::uint8_t bad = em[0];
-  for (std::size_t i = 0; i < h; ++i) bad |= db[i] ^ l_hash[i];
-  std::size_t sep = 0;
-  bool found = false;
-  for (std::size_t i = h; i < db.size(); ++i) {
-    if (!found && db[i] == 0x01) {
-      sep = i;
-      found = true;
-    } else if (!found && db[i] != 0x00) {
-      bad |= 1;
-      break;
-    }
+  for (std::size_t i = 0; i < h; ++i) {
+    bad = static_cast<std::uint8_t>(bad | (db[i] ^ l_hash[i]));
   }
-  if (!found) bad |= 1;
-  if (bad != 0) return Error::crypto("OAEP: decryption error");
+  std::size_t sep = 0;
+  std::size_t found = 0;
+  for (std::size_t i = h; i < db.size(); ++i) {
+    const std::size_t is_one = ct_eq_u8(db[i], 0x01);
+    const std::size_t is_zero = ct_eq_u8(db[i], 0x00);
+    sep = ct_select_size(is_one & (found ^ 1), i, sep);
+    // Garbage before the separator: neither 0x00 (PS) nor the 0x01 marker.
+    bad = static_cast<std::uint8_t>(
+        bad | ((found ^ 1) & (is_one ^ 1) & (is_zero ^ 1)));
+    found |= is_one;
+  }
+  bad = static_cast<std::uint8_t>(bad | (found ^ 1));
+  if (ct_reveal(bad) != 0) return Error::crypto("OAEP: decryption error");
   return Bytes(db.begin() + static_cast<std::ptrdiff_t>(sep) + 1, db.end());
+}
+
+Result<Bytes> rsa_decrypt_oaep(const RsaPrivateKey& key, ByteView ciphertext) {
+  constexpr std::size_t h = Sha256::kDigestSize;
+  const std::size_t k = key.modulus_bytes();
+  if (ciphertext.size() != k || k < 2 * h + 2) {
+    return Error::crypto("OAEP: bad ciphertext size");
+  }
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  // PPROX-CT-OK(branch): range check of public wire ciphertext against the
+  // public modulus n; no private-key material is involved.
+  if (c >= key.n) return Error::crypto("OAEP: ciphertext out of range");
+  const Bytes em = rsa_private_op(key, c).to_bytes_be(k);
+  return rsa_unpad_oaep(em);
 }
 
 Bytes rsa_sign_sha256(const RsaPrivateKey& key, ByteView message) {

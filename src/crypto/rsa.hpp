@@ -70,4 +70,15 @@ bool rsa_verify_sha256(const RsaPublicKey& key, ByteView message,
 /// MGF1-SHA256 mask generation (RFC 8017 B.2.1); exposed for tests.
 Bytes mgf1_sha256(ByteView seed, std::size_t length);
 
+/// Constant-time padding removal over a decrypted message block `em`
+/// (exactly modulus_bytes long), exposed for tests and the dudect harness
+/// (tools/pprox_ct_bench) so timing can be measured without modexp noise.
+/// The separator scan and every validity check are branch-free; only the
+/// single aggregated accept/reject bit is revealed (ct_reveal), which is
+/// what the Result-returning API exposes to the caller anyway.
+Result<Bytes> rsa_unpad_pkcs1(ByteView em);
+/// OAEP counterpart: unmasks seed/DB with MGF1, then checks lHash and scans
+/// for the 0x01 separator branch-free. Same reveal contract as above.
+Result<Bytes> rsa_unpad_oaep(ByteView em);
+
 }  // namespace pprox::crypto

@@ -252,7 +252,10 @@ bool Router::pattern_matches(std::string_view pattern, std::string_view path) {
     const std::size_t t_slash = path.find('/');
     const std::string_view p_seg = pattern.substr(0, p_slash);
     const std::string_view t_seg = path.substr(0, t_slash);
+    // PPROX-CT-OK(branch): matches the public URL path against the public
+    // route table; neither side carries request-body secrets.
     if (p_seg != "*" && p_seg != t_seg) return false;
+    // PPROX-CT-OK(branch): public URL path vs public route table.
     if (p_seg == "*" && t_seg.empty()) return false;
     const bool p_done = p_slash == std::string_view::npos;
     const bool t_done = t_slash == std::string_view::npos;
@@ -271,6 +274,7 @@ HttpResponse Router::dispatch(const HttpRequest& request) const {
   for (const auto& route : routes_) {
     if (!pattern_matches(route.pattern, path)) continue;
     path_matched = true;
+    // PPROX-CT-OK(branch): routing on the public method/path request line.
     if (route.method == request.method) return route.handler(request);
   }
   if (path_matched) {

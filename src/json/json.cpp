@@ -291,10 +291,12 @@ void dump_value(const JsonValue& v, std::string& out) {  // PPROX-HOTPATH-OK(rec
 // just past the closing quote, or npos on malformed input.
 std::size_t skip_string(std::string_view buffer, std::size_t pos) {
   ++pos;  // opening quote
+  // PPROX-CT-OK(branch): wire-format body scan, public framing.
   while (pos < buffer.size()) {
+    // PPROX-CT-OK(branch): wire-format body scan, public framing.
     if (buffer[pos] == '\\') {
       pos += 2;
-    } else if (buffer[pos] == '"') {
+    } else if (buffer[pos] == '"') {  // PPROX-CT-OK(branch): wire framing
       return pos + 1;
     } else {
       ++pos;
@@ -308,6 +310,8 @@ std::size_t skip_string(std::string_view buffer, std::size_t pos) {
 const JsonValue* JsonValue::find(std::string_view key) const {
   if (!is_object()) return nullptr;
   for (const auto& [k, v] : as_object()) {
+    // PPROX-CT-OK(branch): object keys are JSON field names — public wire
+    // schema ("user", "item", ...), never secret values.
     if (k == key) return &v;
   }
   return nullptr;
@@ -316,6 +320,7 @@ const JsonValue* JsonValue::find(std::string_view key) const {
 void JsonValue::set(std::string key, JsonValue value) {
   auto& obj = as_object();
   for (auto& [k, v] : obj) {
+    // PPROX-CT-OK(branch): JSON field names are public wire schema.
     if (k == key) {
       v = std::move(value);
       return;
@@ -380,6 +385,7 @@ std::optional<std::pair<std::size_t, std::size_t>> find_string_field(
   std::size_t pos = 0;
   while (pos < buffer.size()) {
     const char c = buffer[pos];
+    // PPROX-CT-OK(branch): wire-format body scan, public framing.
     if (c != '"') {
       ++pos;
       continue;
@@ -390,19 +396,25 @@ std::optional<std::pair<std::size_t, std::size_t>> find_string_field(
     const std::size_t key_end = after - 1;
     // Is this string the key we want, followed by a colon?
     std::size_t cursor = after;
+    // PPROX-CT-OK(branch): scans the wire-format request body — ciphertext
+    // and pseudonym fields the network observer already sees byte-for-byte.
     while (cursor < buffer.size() &&
            (buffer[cursor] == ' ' || buffer[cursor] == '\t' ||
             buffer[cursor] == '\n' || buffer[cursor] == '\r')) {
       ++cursor;
     }
+    // PPROX-CT-OK(branch): scans the wire-format request body; field names
+    // and framing are public schema.
     if (cursor < buffer.size() && buffer[cursor] == ':' &&
         buffer.substr(key_begin, key_end - key_begin) == key) {
       ++cursor;
+      // PPROX-CT-OK(branch): wire-format body scan, public framing.
       while (cursor < buffer.size() &&
              (buffer[cursor] == ' ' || buffer[cursor] == '\t' ||
               buffer[cursor] == '\n' || buffer[cursor] == '\r')) {
         ++cursor;
       }
+      // PPROX-CT-OK(branch): wire-format body scan, public framing.
       if (cursor < buffer.size() && buffer[cursor] == '"') {
         const std::size_t value_end = skip_string(buffer, cursor);
         if (value_end == std::string_view::npos) return std::nullopt;

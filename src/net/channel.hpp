@@ -48,10 +48,14 @@ class InProcChannel final : public HttpChannel {
       : weak_sink_(std::move(sink)) {}
 
   void send(http::HttpRequest request, RespondFn done) override {
+    // PPROX-CT-OK(branch): which channel backend is wired up is deployment
+    // configuration, independent of request or key contents.
     if (sink_ != nullptr) {
       sink_->handle(std::move(request), std::move(done));
       return;
     }
+    // PPROX-CT-OK(branch): backend liveness is deployment state, independent
+    // of any request or key contents.
     if (const auto pinned = weak_sink_.lock()) {
       pinned->handle(std::move(request), std::move(done));
       return;

@@ -11,12 +11,17 @@ void put_field(Bytes& out, ByteView field) {
   append(out, field);
 }
 
+// The keyring blob's *contents* are secret; its length-prefix framing is
+// not — field lengths are the key-size parameters (modulus width, 32-byte
+// symmetric key) that the format itself publishes. Cursor arithmetic over
+// that framing is therefore public control flow.
 bool get_field(ByteView blob, std::size_t& offset, Bytes& out) {
-  if (offset + 2 > blob.size()) return false;
+  if (offset + 2 > blob.size()) return false;  // PPROX-CT-OK(branch): framing
   const std::size_t len =
-      (static_cast<std::size_t>(blob[offset]) << 8) | blob[offset + 1];
+      (static_cast<std::size_t>(blob[offset]) << 8) |  // PPROX-CT-OK(index): framing
+      blob[offset + 1];
   offset += 2;
-  if (offset + len > blob.size()) return false;
+  if (offset + len > blob.size()) return false;  // PPROX-CT-OK(branch): framing
   out.assign(blob.begin() + static_cast<std::ptrdiff_t>(offset),
              blob.begin() + static_cast<std::ptrdiff_t>(offset + len));
   offset += len;
@@ -52,6 +57,7 @@ Result<LayerSecrets> LayerSecrets::deserialize(ByteView blob) {
   if (!get_field(blob, offset, secrets.k)) {
     return Error::parse("LayerSecrets: truncated symmetric key");
   }
+  // PPROX-CT-OK(branch): end-of-blob framing check; see get_field above.
   if (offset != blob.size()) {
     return Error::parse("LayerSecrets: trailing bytes");
   }

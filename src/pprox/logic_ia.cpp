@@ -21,14 +21,18 @@ Result<IaLogic> IaLogic::from_secrets(ByteView secrets_blob) {
 Result<SensitiveBlock<taint::ItemDomain>> IaLogic::decrypt_item_block(
     std::string_view base64_cipher) const {
   const auto cipher = base64_decode(base64_cipher);
+  // PPROX-CT-OK(branch): base64 framing of adversary-chosen wire input.
   if (!cipher) return Error::parse("field is not valid base64");
   auto plain = crypto::rsa_decrypt_oaep(secrets_.sk, *cipher);
+  // PPROX-CT-OK(branch): the unpad itself is branch-free (rsa_unpad_oaep);
+  // this reveals only the accept/reject bit the response already carries.
   if (!plain.ok()) return plain.error();
   return SensitiveBlock<taint::ItemDomain>{std::move(plain.value())};
 }
 
 Result<Bytes> IaLogic::decrypt_key_field(std::string_view base64_cipher) const {
   const auto cipher = base64_decode(base64_cipher);
+  // PPROX-CT-OK(branch): base64 framing of adversary-chosen wire input.
   if (!cipher) return Error::parse("field is not valid base64");
   return crypto::rsa_decrypt_oaep(secrets_.sk, *cipher);
 }
@@ -36,7 +40,10 @@ Result<Bytes> IaLogic::decrypt_key_field(std::string_view base64_cipher) const {
 Result<std::string> IaLogic::transform_post_request(std::string body,
                                                     bool pseudonymize_items) const {
   const auto item_cipher = json::get_string_field(body, fields::kItem);
+  // PPROX-CT-OK(branch): presence of the item field is public JSON framing.
   if (!item_cipher) return Error::parse("post has no item field");
+  // PPROX-CT-OK(branch): deployment-config flag (paper §6.3 opt-out), fixed
+  // per tenant at startup — not per-request secret data.
   if (pseudonymize_items) {
     auto pseudonym =
         pseudonymize_field<taint::ItemDomain>(secrets_.sk, det_, *item_cipher);
@@ -55,6 +62,8 @@ Result<std::string> IaLogic::transform_post_request(std::string body,
   }
   // Optional payload (rating, weight, ...): decrypt and forward in usable
   // form — the LRS needs the actual value, and it carries no identifier.
+  // PPROX-CT-OK(branch): presence of the optional payload field is public
+  // JSON framing of the adversary-visible request body.
   if (const auto payload_cipher =
           json::get_string_field(body, fields::kPayload)) {
     auto block = decrypt_item_block(*payload_cipher);
@@ -73,6 +82,7 @@ Result<std::string> IaLogic::transform_post_request(std::string body,
 
 Result<IaLogic::GetRequest> IaLogic::transform_get_request(std::string body) const {
   const auto key_cipher = json::get_string_field(body, fields::kTempKey);
+  // PPROX-CT-OK(branch): presence of the field is public JSON framing.
   if (!key_cipher) return Error::parse("get has no temporary key field");
   auto k_u = decrypt_key_field(*key_cipher);
   if (!k_u.ok()) return k_u.error();
@@ -88,6 +98,7 @@ Result<IaLogic::GetRequest> IaLogic::transform_get_request(std::string body) con
 Result<ItemId> IaLogic::de_pseudonymize_item(
     std::string_view base64_cipher) const {
   const auto cipher = base64_decode(base64_cipher);
+  // PPROX-CT-OK(branch): base64/size framing of a stored wire-format row.
   if (!cipher) return Error::parse("pseudonym is not valid base64");
   if (cipher->size() != kIdBlockSize) {
     return Error::parse("pseudonym block has wrong size");

@@ -17,6 +17,8 @@ Result<UaLogic> UaLogic::from_secrets(ByteView secrets_blob) {
 
 Result<std::string> UaLogic::transform_request(std::string body) const {
   const auto user_cipher = json::get_string_field(body, fields::kUser);
+  // PPROX-CT-OK(branch): presence of the user field is public JSON framing
+  // of an adversary-visible request; the 4xx reveals the same bit.
   if (!user_cipher) return Error::parse("request has no user field");
   auto pseudonym =
       pseudonymize_field<taint::UserDomain>(secrets_.sk, det_, *user_cipher);

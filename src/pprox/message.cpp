@@ -40,6 +40,10 @@ Result<std::string> unpad_identifier(ByteView block) {
   }
   const std::size_t len =
       (static_cast<std::size_t>(block[0]) << 8) | block[1];
+  // PPROX-CT-OK(branch): unpadding happens exactly where the identifier is
+  // deliberately released (client, or LRS after declassify); its length is
+  // part of that release, and the range check reveals only the validity bit
+  // the error response exposes anyway. The padding scan below stays ct.
   if (len > kMaxIdLength) return Error::parse("identifier length corrupt");
   // Verify the zero padding in constant time: a decrypted pseudonym block is
   // secret-derived, and rejecting it at the position of the first garbage

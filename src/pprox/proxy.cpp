@@ -115,6 +115,8 @@ void ProxyServer::handle(http::HttpRequest request, net::RespondFn done) {
 
 void ProxyServer::handle_ua(http::HttpRequest request, net::RespondFn done) {
   const UaLogic* logic = ua_logic_for(tenant_of(request));
+  // PPROX-CT-OK(branch): tenant routing on the public Host/tenant header;
+  // the 403 is the deliberate public answer for unknown tenants.
   if (logic == nullptr) {
     fail(done, 403, "unknown tenant application");
     return;
@@ -143,11 +145,13 @@ void ProxyServer::handle_ua(http::HttpRequest request, net::RespondFn done) {
 
 void ProxyServer::handle_ia(http::HttpRequest request, net::RespondFn done) {
   const IaLogic* logic = ia_logic_for(tenant_of(request));
+  // PPROX-CT-OK(branch): tenant routing on the public Host/tenant header.
   if (logic == nullptr) {
     fail(done, 403, "unknown tenant application");
     return;
   }
   const bool is_get = request.target == paths::kQueries;
+  // PPROX-CT-OK(branch): GET vs POST dispatch on the public request line.
   if (!is_get) {
     auto transformed = enclave_->ecall([this, logic, &request](ByteView) {
       return logic->transform_post_request(std::move(request.body),

@@ -26,6 +26,8 @@ Result<std::string> pseudonymize_field(const crypto::RsaPrivateKey& sk,
                                        const crypto::DeterministicCipher& det,
                                        std::string_view base64_cipher) {
   const auto cipher = base64_decode(base64_cipher);
+  // PPROX-CT-OK(branch): base64 framing of adversary-chosen wire input;
+  // rejection is observable through the error response regardless.
   if (!cipher) return Error::parse("field is not valid base64");
   auto plain = crypto::rsa_decrypt_oaep(sk, *cipher);
   if (!plain.ok()) return plain.error();

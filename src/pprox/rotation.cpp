@@ -52,6 +52,8 @@ namespace {
 /// De-pseudonymizes a base64 block with `key`; error when malformed.
 Result<std::string> strip_pseudonym(const Bytes& key, const std::string& field) {
   const auto cipher = base64_decode(field);
+  // PPROX-CT-OK(branch): base64/size framing of stored wire-format rows;
+  // both are public structure, not pseudonym contents.
   if (!cipher || cipher->size() != kIdBlockSize) {
     return Error::parse("pseudonym malformed during rotation");
   }

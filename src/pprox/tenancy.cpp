@@ -11,8 +11,11 @@ void put_u16(Bytes& out, std::size_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
+// Keyring framing (magic, counts, length prefixes) is public format
+// structure, not key material — same argument as keys.cpp's get_field.
 bool get_u16(ByteView blob, std::size_t& offset, std::size_t& v) {
-  if (offset + 2 > blob.size()) return false;
+  if (offset + 2 > blob.size()) return false;  // PPROX-CT-OK(branch): framing
+  // PPROX-CT-OK(index): framing
   v = (static_cast<std::size_t>(blob[offset]) << 8) | blob[offset + 1];
   offset += 2;
   return true;
@@ -39,22 +42,27 @@ Bytes TenantKeyring::serialize() const {
 }
 
 Result<TenantKeyring> TenantKeyring::deserialize(ByteView blob) {
+  // PPROX-CT-OK(branch): magic-byte check — fixed public format bytes.
   if (!looks_like_keyring(blob)) {
     return Error::parse("keyring: bad magic");
   }
   std::size_t offset = 4;
   std::size_t count = 0;
+  // PPROX-CT-OK(branch): tenant count is public deployment structure.
   if (!get_u16(blob, offset, count)) return Error::parse("keyring: truncated");
 
   TenantKeyring keyring;
+  // PPROX-CT-OK(branch): loop over the public tenant count.
   for (std::size_t i = 0; i < count; ++i) {
     std::size_t id_len = 0;
+    // PPROX-CT-OK(branch): length-prefix framing; tenant ids are public.
     if (!get_u16(blob, offset, id_len) || offset + id_len > blob.size()) {
       return Error::parse("keyring: truncated tenant id");
     }
     const std::string id = to_string(blob.subspan(offset, id_len));
     offset += id_len;
     std::size_t secret_len = 0;
+    // PPROX-CT-OK(branch): length-prefix framing (key sizes, not key bits).
     if (!get_u16(blob, offset, secret_len) || offset + secret_len > blob.size()) {
       return Error::parse("keyring: truncated secrets");
     }
@@ -63,6 +71,7 @@ Result<TenantKeyring> TenantKeyring::deserialize(ByteView blob) {
     offset += secret_len;
     keyring.tenants.emplace(id, std::move(secrets.value()));
   }
+  // PPROX-CT-OK(branch): end-of-blob framing check.
   if (offset != blob.size()) return Error::parse("keyring: trailing bytes");
   return keyring;
 }

@@ -183,6 +183,8 @@ class Run {
     double cpu = costs_.parse_forward_ms;
     if (proxy_.encryption) {
       cpu += costs_.rsa_decrypt_ms;  // item id (post) or k_u (get)
+      // PPROX-CT-OK(branch): capacity-planning simulation; models costs with
+      // synthetic workloads, no real secrets exist in this process.
       if (!is_get && proxy_.item_pseudonymization) cpu += costs_.det_enc_ms;
     }
     if (proxy_.sgx) cpu += costs_.sgx_ecall_ms;

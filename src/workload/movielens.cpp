@@ -49,6 +49,8 @@ MovieLensGenerator::MovieLensGenerator(MovieLensParams params)
     const std::uint64_t pair_key =
         (static_cast<std::uint64_t>(user) << 32) | item;
     // A user rates a movie once (as in MovieLens).
+    // PPROX-CT-OK(branch): synthetic workload generator (benchmark input),
+    // not production secret handling.
     if (!seen_pairs.insert(pair_key).second) continue;
     users_seen.insert(user);
     items_seen.insert(item);

@@ -1,0 +1,13 @@
+// ct fixture: routing a secret through ct_reveal (the audited
+// declassification gate) makes the result public — no finding. This is the
+// negative case pinning the ct_-prefix publicity rule.
+template <typename T>
+T ct_reveal(T v) {
+  return v;
+}
+
+int ct_fixture_check(int secret_ok) {
+  const int revealed = ct_reveal(secret_ok);
+  if (revealed != 0) return 1;  // clean: branches on the declassified copy
+  return 0;
+}

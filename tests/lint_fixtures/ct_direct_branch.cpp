@@ -1,0 +1,6 @@
+// ct fixture: a secret-named value used directly as a branch condition must
+// fire ct-branch at the use site, rooted in the same function.
+int ct_fixture_direct(int secret_flag) {
+  if (secret_flag != 0) return 1;  // leak: instruction count keys to secret
+  return 0;
+}

@@ -1,0 +1,7 @@
+// ct fixture: a secret-indexed table load must fire ct-index — the cache
+// set touched depends on the secret byte (classic S-box leak shape).
+extern const unsigned char kTable[256];
+
+unsigned char ct_fixture_lookup(unsigned char secret_byte) {
+  return kTable[secret_byte];  // leak: secret-dependent cache line
+}

@@ -1,0 +1,6 @@
+// ct fixture: a bare suppression (no ": <why>") must be reported itself AND
+// must not silence the underlying finding — both keys appear.
+int ct_fixture_route(int secret_mode) {
+  if (secret_mode != 0) return 1;  // PPROX-CT-OK(branch)
+  return 0;
+}

@@ -1,0 +1,7 @@
+// ct fixture: a justified suppression with an aspect and a reason silences
+// the finding on its line (and a comment-only marker covers the line below).
+int ct_fixture_route(int secret_mode) {
+  // PPROX-CT-OK(branch): fixture justification — this value is public here.
+  if (secret_mode != 0) return 1;
+  return 0;
+}

@@ -1,0 +1,15 @@
+// ct fixture: taint must travel two call hops through per-function
+// summaries — the root seeds a secret, an un-annotated middle function
+// forwards it, and the leaf branches on its (locally innocent) parameter.
+// The finding anchors at the leaf sink with the full chain.
+int leaf_cmp(int value) {
+  if (value != 0) return 1;  // sink: tainted only via callers
+  return 0;
+}
+
+int middle_hop(int v) { return leaf_cmp(v); }
+
+int root_source() {
+  const int secret_word = 3;
+  return middle_hop(secret_word);
+}

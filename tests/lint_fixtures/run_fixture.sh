@@ -3,8 +3,8 @@
 #
 #   run_fixture.sh LINT_BIN MODE FIXTURE.cpp EXPECTED
 #
-# MODE is `hotpath`, `locks`, or `flow`. The fixture is linted on its own;
-# findings are normalized (hotpath/locks: sorted baseline keys from --json;
+# MODE is `hotpath`, `locks`, `ct`, or `flow`. The fixture is linted on its
+# own; findings are normalized (hotpath/locks/ct: sorted baseline keys from --json;
 # flow: sorted [rule] tags) and diffed against EXPECTED. The lint exit code must also agree with
 # the golden: a non-empty EXPECTED demands exit 1, an empty one exit 0 — so
 # a fixture that stops firing OR an analyzer that stops failing both break
@@ -29,6 +29,12 @@ case "$mode" in
     ;;
   locks)
     raw="$("$lint" --locks --json "$name" 2>/dev/null)"
+    rc=$?
+    got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
+           sed 's/^"key": "//; s/"$//' | sort)"
+    ;;
+  ct)
+    raw="$("$lint" --ct --json "$name" 2>/dev/null)"
     rc=$?
     got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
            sed 's/^"key": "//; s/"$//' | sort)"

@@ -61,8 +61,15 @@
 // held, bare manual .lock()/.unlock(), predicate-less CondVar waits. Its
 // key-based baseline is tools/locks_baseline.json.
 //
+// Constant-time rules (--ct) run the interprocedural secret-taint pass of
+// tools/pprox_lint_ct.cpp (DESIGN.md §13) over the same shared call graph:
+// key/secret/pseudonym-derived values must not reach branch conditions,
+// array subscripts, or variable-latency operations. Its key-based baseline
+// is tools/ct_baseline.json; the dynamic cross-check is tools/pprox_ct_bench.
+//
 // Exit status: 0 clean (or within baseline), 1 findings/regressions,
 // 2 usage/IO error.
+#include "ct_pass.hpp"
 #include "hotpath_pass.hpp"
 #include "locks_pass.hpp"
 
@@ -102,6 +109,7 @@ struct Options {
   bool flow = false;
   bool hotpath = false;
   bool locks = false;
+  bool ct = false;
   bool json = false;
   bool list_rules = false;
   std::string baseline;
@@ -156,6 +164,14 @@ constexpr RuleDoc kRuleDocs[] = {
     {"wait-nopred", "CondVar::wait must carry a predicate argument"},
     {"locks-bare-suppression",
      "lock-discipline suppressions must carry a ': <why>'"},
+    {"ct-branch",
+     "secret-tainted value reaches a branch condition or loop bound"},
+    {"ct-index", "secret-tainted value reaches an array subscript"},
+    {"ct-varlat",
+     "secret-tainted operand of a variable-latency op (/ % "
+     "BigInt::compare/divmod/modinv)"},
+    {"ct-bare-suppression",
+     "constant-time suppressions must carry a ': <why>'"},
 };
 
 bool is_ident(char c) {
@@ -1003,7 +1019,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout
-          << "usage: pprox_lint [--flow|--hotpath|--locks] [--json] "
+          << "usage: pprox_lint [--flow|--hotpath|--locks|--ct] [--json] "
              "[--baseline FILE] "
              "[--baseline-write FILE] [--list-rules] <dir-or-file>...\n"
              "crypto rules: rand, memcmp, secure-wipe, secret-index, "
@@ -1015,9 +1031,12 @@ int main(int argc, char** argv) {
              "hotpath-bare-suppression\n"
              "locks rules (--locks): lock-order, lock-blocking, lock-ecall, "
              "lock-manual, wait-nopred, locks-bare-suppression\n"
+             "ct rules (--ct): ct-branch, ct-index, ct-varlat, "
+             "ct-bare-suppression\n"
              "suppress: // pprox-lint: allow(<rule>): <why>   (crypto/flow)\n"
              "          // PPROX-HOTPATH-OK(<effect>): <why>  (hotpath)\n"
              "          // PPROX-LOCKS-OK(<aspect>): <why>    (locks)\n"
+             "          // PPROX-CT-OK(<aspect>): <why>       (ct)\n"
              "--json prints findings, per-rule totals, and the per-unit "
              "layer/include graph\n"
              "--baseline compares against FILE and fails only on regressions "
@@ -1041,6 +1060,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--locks") {
       opts.locks = true;
+      continue;
+    }
+    if (arg == "--ct") {
+      opts.ct = true;
       continue;
     }
     if (arg == "--json") {
@@ -1102,6 +1125,14 @@ int main(int argc, char** argv) {
     lopts.baseline_write = opts.baseline_write;
     lopts.inputs = opts.inputs;
     return locks::run(lopts);
+  }
+  if (opts.ct) {
+    ct::Options copts;
+    copts.json = opts.json;
+    copts.baseline = opts.baseline;
+    copts.baseline_write = opts.baseline_write;
+    copts.inputs = opts.inputs;
+    return ct::run(copts);
   }
 
   std::vector<Finding> findings;
