@@ -37,6 +37,10 @@ InjectionReport run_injection(
       ++report.injected;
       ++in_flight;
     }
+    // The by-ref captures (mutex, report, in_flight, done_cv) outlive every
+    // callback: run_injection blocks on done_cv until in_flight reaches zero
+    // before returning, so no completion can run after the frame dies.
+    // PPROX-LIFETIME-OK(capture): joined via done_cv before frame exit
     channel.send(make_request(), [&, sent_at](http::HttpResponse response) {
       const auto now = Clock::now();
       const double latency_ms =

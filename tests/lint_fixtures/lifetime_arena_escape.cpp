@@ -1,0 +1,44 @@
+// Fixture: lifetime-arena-escape (pprox_lint --lifetime).
+// Views of per-connection / per-batch buffers (the in_buffer/out_buffer
+// arenas the zero-copy plane recycles after every handler) must not be
+// stored past the handler's return. Pins the direct member-container store
+// and the transitive store through an escapes-param summary; the copying
+// store is the negative.
+// Analyzer input only — never compiled into a target.
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct Conn {
+  std::vector<unsigned char> in_buffer;  // recycled after every handler
+};
+
+// Direct: a view of the connection arena outlives the handler.
+struct Handler {
+  std::vector<std::string_view> headers_;
+  void on_readable(Conn& conn) {
+    std::string_view line(reinterpret_cast<const char*>(conn.in_buffer.data()), 16);
+    headers_.push_back(line);
+  }
+};
+
+// Summary: remember() stores its view parameter as-is...
+struct Router {
+  std::vector<std::string_view> routes_;
+  void remember(std::string_view route) { routes_.push_back(route); }
+};
+
+// ...so handing it an arena view escapes transitively.
+void dispatch(Router& router, Conn& conn) {
+  std::string_view path(reinterpret_cast<const char*>(conn.in_buffer.data()), 8);
+  router.remember(path);
+}
+
+// Negative: append() copies the bytes out of the arena before it returns.
+struct Accumulator {
+  std::string text_;
+  void keep(Conn& conn) {
+    std::string_view v(reinterpret_cast<const char*>(conn.in_buffer.data()), 4);
+    text_.append(v);
+  }
+};

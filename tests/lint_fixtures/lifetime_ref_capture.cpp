@@ -1,0 +1,66 @@
+// Fixture: lifetime-ref-capture-escape (pprox_lint --lifetime).
+// A lambda handed to a sink that outlives the frame (pool submit, queue,
+// thread) must not capture locals by reference or `this` without a pin.
+// Pins the direct by-ref case, the unowned-sink `this` case, and the
+// transitive case through an escapes-param summary; the negatives cover
+// by-value capture, a member-owned sink, and a weak_ptr guard.
+// Analyzer input only — never compiled into a target.
+#include <functional>
+#include <memory>
+#include <utility>
+
+struct ThreadPool {
+  void submit(std::function<void()> fn);
+};
+
+// Direct: `counter` is dead long before the pool runs the callback.
+void fire_and_forget(ThreadPool& pool) {
+  int counter = 0;
+  pool.submit([&] { ++counter; });
+}
+
+// `this` into a pool this object does not own: the Emitter can be destroyed
+// while the callback is still queued.
+struct Emitter {
+  void arm(ThreadPool& pool) {
+    pool.submit([this] { fire(); });
+  }
+  void fire();
+};
+
+// Summary: defer_to_pool stores its callable parameter past its return...
+struct Relay {
+  ThreadPool* pool_;
+  void defer_to_pool(std::function<void()> fn) {
+    pool_->submit(std::move(fn));
+  }
+};
+
+// ...so a by-ref lambda passed to it escapes transitively.
+void transitive_escape(Relay& relay) {
+  int counter = 0;
+  relay.defer_to_pool([&] { ++counter; });
+}
+
+// Negative: by-value capture owns its state.
+void by_value(ThreadPool& pool) {
+  int counter = 0;
+  pool.submit([counter]() mutable { ++counter; });
+}
+
+// Negative: the sink is a member — ~Owner joins workers_ before the object
+// dies, so `this` cannot dangle (ThreadPool discipline, DESIGN.md §14.3).
+struct Owner {
+  ThreadPool workers_;
+  int hits_ = 0;
+  void kick() {
+    workers_.submit([this] { ++hits_; });
+  }
+};
+
+// Negative: weak_ptr pin — the callback checks liveness before touching us.
+struct Guarded : std::enable_shared_from_this<Guarded> {
+  void arm(ThreadPool& pool) {
+    pool.submit([self = weak_from_this()] { (void)self; });
+  }
+};

@@ -1,0 +1,33 @@
+// Fixture: lifetime-return-local (pprox_lint --lifetime).
+// A view-returning function must not return a view of a local or of an
+// owning temporary. Pins the direct case, the materialized-temporary case,
+// and the transitive case through a returns-view-of-param summary; the
+// param pass-through at the bottom is the negative (the caller decides).
+// Analyzer input only — never compiled into a target.
+#include <string>
+#include <string_view>
+
+// Direct: the view's bytes die with the frame.
+std::string_view direct_dangle() {
+  std::string local = "transient payload";
+  std::string_view v = local;
+  return v;
+}
+
+// An owning temporary materialized straight into the returned view.
+std::string_view temp_dangle() {
+  return std::string("materialized then destroyed");
+}
+
+// Summary: suffix returns a view of its parameter...
+std::string_view suffix(std::string_view s) { return s.substr(1); }
+
+// ...so feeding it a local dangles transitively.
+std::string_view via_helper() {
+  std::string local = "also transient";
+  return suffix(local);
+}
+
+// Negative: a view of a parameter flows out — the bytes belong to the
+// caller, which is the whole point of taking string_view arguments.
+std::string_view pass_through(std::string_view s) { return s; }

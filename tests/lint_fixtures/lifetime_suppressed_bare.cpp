@@ -1,0 +1,13 @@
+// Fixture: bare PPROX-LIFETIME-OK suppression (pprox_lint --lifetime).
+// A suppression without a ': <why>' is itself a finding and never enters a
+// baseline — the justification is the product.
+// Analyzer input only — never compiled into a target.
+#include <string>
+#include <string_view>
+
+std::string_view spill() {
+  std::string local = "oops";
+  std::string_view v = local;
+  // PPROX-LIFETIME-OK(return)
+  return v;
+}

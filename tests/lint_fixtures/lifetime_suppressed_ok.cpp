@@ -1,0 +1,31 @@
+// Fixture: justified PPROX-LIFETIME-OK suppressions (pprox_lint --lifetime).
+// Each violation below carries an aspect-scoped suppression with a why, so
+// the fixture must lint clean (empty golden, exit 0).
+// Analyzer input only — never compiled into a target.
+#include <functional>
+#include <string>
+#include <string_view>
+
+std::string_view cached() {
+  static std::string storage = "interned for the process lifetime";
+  std::string_view v = storage;
+  // PPROX-LIFETIME-OK(return): storage is function-static; the view never dangles
+  return v;
+}
+
+struct Interner {
+  // PPROX-LIFETIME-OK(member): table_ aliases the process-lifetime intern pool
+  std::string_view table_;
+};
+
+struct Pool {
+  void submit(std::function<void()> fn);
+  void drain();
+};
+
+void flush(Pool& pool) {
+  int pending = 0;
+  // PPROX-LIFETIME-OK(capture): drain() below joins every callback before the frame exits
+  pool.submit([&] { ++pending; });
+  pool.drain();
+}

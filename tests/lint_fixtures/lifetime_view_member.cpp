@@ -1,0 +1,19 @@
+// Fixture: lifetime-view-member (pprox_lint --lifetime).
+// A view-typed data member means the object aliases bytes it does not own:
+// every use after the source buffer dies is a dangling read, and nothing in
+// the type system ties the two lifetimes together. The owning sibling and
+// the view-typed local are the negatives.
+// Analyzer input only — never compiled into a target.
+#include <string>
+#include <string_view>
+
+struct Index {
+  std::string_view key_;   // violation: whose bytes are these?
+  std::string payload_;    // negative: owning member is fine
+};
+
+// Negative: view-typed locals are scoped to the frame — not this rule.
+void scan(std::string_view hay) {
+  std::string_view cursor = hay;
+  (void)cursor;
+}

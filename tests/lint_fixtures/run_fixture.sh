@@ -3,12 +3,14 @@
 #
 #   run_fixture.sh LINT_BIN MODE FIXTURE.cpp EXPECTED
 #
-# MODE is `hotpath`, `locks`, `ct`, or `flow`. The fixture is linted on its
-# own; findings are normalized (hotpath/locks/ct: sorted baseline keys from --json;
-# flow: sorted [rule] tags) and diffed against EXPECTED. The lint exit code must also agree with
-# the golden: a non-empty EXPECTED demands exit 1, an empty one exit 0 — so
-# a fixture that stops firing OR an analyzer that stops failing both break
-# the test.
+# MODE is any pass flag pprox_lint understands (`hotpath`, `locks`, `ct`,
+# `lifetime`, `flow`). The fixture is linted on its own; findings are
+# normalized and diffed against EXPECTED. Every key-emitting pass shares one
+# invocation path (--MODE --json, sorted baseline keys); `flow` is the one
+# odd duck (no --json, so its [rule] stderr tags are the normal form). The
+# lint exit code must also agree with the golden: a non-empty EXPECTED
+# demands exit 1, an empty one exit 0 — so a fixture that stops firing OR an
+# analyzer that stops failing both break the test.
 set -u
 
 if [[ $# -ne 4 ]]; then
@@ -21,20 +23,8 @@ cd "$(dirname "$fixture")" || exit 2
 name="$(basename "$fixture")"
 
 case "$mode" in
-  hotpath)
-    raw="$("$lint" --hotpath --json "$name" 2>/dev/null)"
-    rc=$?
-    got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
-           sed 's/^"key": "//; s/"$//' | sort)"
-    ;;
-  locks)
-    raw="$("$lint" --locks --json "$name" 2>/dev/null)"
-    rc=$?
-    got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
-           sed 's/^"key": "//; s/"$//' | sort)"
-    ;;
-  ct)
-    raw="$("$lint" --ct --json "$name" 2>/dev/null)"
+  hotpath|locks|ct|lifetime)
+    raw="$("$lint" "--$mode" --json "$name" 2>/dev/null)"
     rc=$?
     got="$(printf '%s' "$raw" | grep -o '"key": "[^"]*"' |
            sed 's/^"key": "//; s/"$//' | sort)"

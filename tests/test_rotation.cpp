@@ -194,6 +194,46 @@ TEST_F(RotationTest, DeploymentRotateIsOneCall) {
   EXPECT_TRUE(fresher.get_sync("probe").ok());
 }
 
+TEST_F(RotationTest, StaleChannelFailsClosedAfterRotation) {
+  // Regression pin for the InProcChannel weak_ptr fix: a channel grabbed
+  // before rotate() must not deliver to the rotated-out proxy (rotate frees
+  // it) — the channel's weak reference expires instead, the completion gets
+  // a synchronous 503 "backend gone", and there is no freed-proxy touch for
+  // ASan to report. Before the fix this was a use-after-free; today the
+  // behaviour is only covered incidentally via post_sync failing.
+  const std::shared_ptr<net::HttpChannel> stale = deployment_.entry_channel();
+
+  ASSERT_TRUE(deployment_.rotate(lrs_, rng_).ok());
+  lrs_.train();
+
+  int completions = 0;
+  http::HttpResponse seen;
+  http::HttpRequest request;
+  request.method = "POST";
+  request.target = "/recommend";
+  request.body = "probe";
+  stale->send(std::move(request), [&](http::HttpResponse response) {
+    ++completions;
+    seen = std::move(response);
+  });
+  // InProcChannel fails closed synchronously: exactly one completion, and
+  // the error names the dead backend rather than echoing proxy output.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(seen.status, 503);
+  EXPECT_NE(seen.body.find("backend gone"), std::string::npos) << seen.body;
+
+  // Sends through the stale channel never resurrect the old stack: repeat
+  // sends keep failing closed while a fresh client is fully live.
+  http::HttpRequest again;
+  stale->send(std::move(again), [&](http::HttpResponse response) {
+    ++completions;
+    EXPECT_EQ(response.status, 503);
+  });
+  EXPECT_EQ(completions, 2);
+  ClientLibrary fresh = deployment_.make_client(&rng_);
+  EXPECT_TRUE(fresh.get_sync("probe").ok());
+}
+
 TEST(Rotation, RefusesCorruptDatabaseUntouched) {
   crypto::Drbg rng(to_bytes("rot-corrupt"));
   lrs::HarnessServer lrs;

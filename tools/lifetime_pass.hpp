@@ -1,0 +1,23 @@
+// Interface of the pprox_lint --lifetime pass (interprocedural lifetime /
+// escape analyzer, DESIGN.md §14). Mirrors locks_pass.hpp: the driver fills
+// Options and calls run(); the implementation lives in
+// pprox_lint_lifetime.cpp.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lifetime {
+
+struct Options {
+  bool json = false;
+  std::string baseline;        ///< --baseline FILE (ratchet mode)
+  std::string baseline_write;  ///< --baseline-write FILE (regenerate)
+  std::vector<std::filesystem::path> inputs;
+};
+
+/// Exit code: 0 clean/within-baseline, 1 findings/regressions, 2 IO errors.
+int run(const Options& opts);
+
+}  // namespace lifetime

@@ -1,0 +1,42 @@
+// Dynamic cross-check for pprox_lint --lifetime (DESIGN.md §14.6).
+//
+// Normal build: greeting() returns an owning std::string; the program reads
+// it and exits 0.
+//
+// -DPPROX_CHECK_SELFTEST: greeting() is replaced by a deliberately dangling
+// variant that returns a std::string_view of a function-local heap-backed
+// string (96 chars defeats SSO, so the bytes live on the freed heap and
+// ASan reports a deterministic heap-use-after-free). The ctest entry is
+// WILL_FAIL under ASan builds. pprox_lint --lifetime is preprocessor-blind
+// (it scans both arms of the #ifdef), so the lifetime-return-local finding
+// fires on this TU in BOTH configurations — that is the static leg
+// (lifetime_selftest_static), and this binary is the dynamic leg. If the
+// analyzer ever stops seeing the bug, or the sanitizer does, the paired
+// test goes green-on-red and CI catches the divergence.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace {
+
+#ifdef PPROX_CHECK_SELFTEST
+std::string_view greeting() {
+  std::string local(96, 'g');  // heap-backed: no SSO rescue for the view
+  std::string_view view = local;
+  return view;  // dangling: lifetime-return-local
+}
+#else
+std::string greeting() { return std::string(96, 'g'); }
+#endif
+
+}  // namespace
+
+int main() {
+  auto g = greeting();
+  // Touch every byte so the stale read cannot be optimized away.
+  unsigned long sum = 0;
+  for (char c : std::string_view(g)) sum += static_cast<unsigned char>(c);
+  std::printf("greeting checksum: %lu\n", sum);
+  return sum == 96ul * 'g' ? 0 : 1;
+}

@@ -71,6 +71,7 @@
 // 2 usage/IO error.
 #include "ct_pass.hpp"
 #include "hotpath_pass.hpp"
+#include "lifetime_pass.hpp"
 #include "locks_pass.hpp"
 
 #include <algorithm>
@@ -110,6 +111,7 @@ struct Options {
   bool hotpath = false;
   bool locks = false;
   bool ct = false;
+  bool lifetime = false;
   bool json = false;
   bool list_rules = false;
   std::string baseline;
@@ -117,62 +119,124 @@ struct Options {
   std::vector<fs::path> inputs;
 };
 
-/// Rule registry for --list-rules: name + one-line summary, kept next to the
-/// Options so adding a rule without listing it is hard to miss in review.
+/// Rule registry for --list-rules: one consolidated row per rule across
+/// every pass — pass name, rule id, suppression token, baseline file,
+/// summary. Kept next to the Options so adding a rule without listing it
+/// is hard to miss in review. (The suppression marker strings are split so
+/// this file never matches its own scanners.)
 struct RuleDoc {
+  const char* pass;      ///< crypto | flow | hotpath | locks | ct | lifetime
   const char* name;
+  const char* suppress;  ///< inline suppression token for the rule
+  const char* baseline;  ///< ratchet file consulted by --baseline
   const char* summary;
 };
 
+#define PPROX_ALLOW_TOKEN "pprox-lint: allow(<rule>): <why>"
+#define PPROX_OK_TOKEN(PASS) "PPROX-" PASS "-" "OK(<aspect>): <why>"
+
 constexpr RuleDoc kRuleDocs[] = {
-    {"rand", "libc rand()/random() family is not a CSPRNG"},
-    {"memcmp", "memcmp on secrets leaks a matching-prefix timing signal"},
-    {"secure-wipe", "key-material locals must be secure_wipe()d before scope exit"},
-    {"secret-index", "data-dependent S-box lookups are a cache side channel"},
-    {"intrinsics",
+    {"crypto", "rand", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "libc rand()/random() family is not a CSPRNG"},
+    {"crypto", "memcmp", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "memcmp on secrets leaks a matching-prefix timing signal"},
+    {"crypto", "secure-wipe", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "key-material locals must be secure_wipe()d before scope exit"},
+    {"crypto", "secret-index", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "data-dependent S-box lookups are a cache side channel"},
+    {"crypto", "intrinsics", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
      "CPU intrinsics in src/ stay inside the dispatch TUs "
      "(crypto/accel_x86.cpp, crypto/cpu_features.cpp)"},
-    {"raw-sync",
+    {"crypto", "raw-sync", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
      "raw std sync primitives in src/ bypass common/sync.hpp and the "
      "pprox_check scheduler"},
-    {"bare-suppression", "allow(<rule>) comments must carry a ': <why>'"},
-    {"flow-layer", "every file in flow scope declares a known layer"},
-    {"flow-declassify", "PPROX_DECLASSIFY needs an adjacent justification"},
-    {"flow-test-declassify", "test-only declassify macros stay out of src/"},
-    {"flow-internal", "cross-layer includes must respect the layering graph"},
-    {"hot-alloc", "PPROX_HOT paths must not reach heap allocation"},
-    {"hot-throw", "PPROX_HOT paths must not reach a throw"},
-    {"hot-recursion", "PPROX_HOT paths must not reach a recursion cycle"},
-    {"nonblocking-block",
+    {"crypto", "bare-suppression", "(never suppressible)",
+     "tools/lint_baseline.json",
+     "allow(<rule>) comments must carry a ': <why>'"},
+    {"flow", "flow-layer", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "every file in flow scope declares a known layer"},
+    {"flow", "flow-declassify", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "PPROX_DECLASSIFY needs an adjacent justification"},
+    {"flow", "flow-test-declassify", PPROX_ALLOW_TOKEN,
+     "tools/lint_baseline.json",
+     "test-only declassify macros stay out of src/"},
+    {"flow", "flow-internal", PPROX_ALLOW_TOKEN, "tools/lint_baseline.json",
+     "cross-layer includes must respect the layering graph"},
+    {"hotpath", "hot-alloc", PPROX_OK_TOKEN("HOTPATH"),
+     "tools/hotpath_baseline.json",
+     "PPROX_HOT paths must not reach heap allocation"},
+    {"hotpath", "hot-throw", PPROX_OK_TOKEN("HOTPATH"),
+     "tools/hotpath_baseline.json",
+     "PPROX_HOT paths must not reach a throw"},
+    {"hotpath", "hot-recursion", PPROX_OK_TOKEN("HOTPATH"),
+     "tools/hotpath_baseline.json",
+     "PPROX_HOT paths must not reach a recursion cycle"},
+    {"hotpath", "nonblocking-block", PPROX_OK_TOKEN("HOTPATH"),
+     "tools/hotpath_baseline.json",
      "PPROX_NONBLOCKING paths must not reach a blocking operation"},
-    {"ecall-alloc",
+    {"hotpath", "ecall-alloc", PPROX_OK_TOKEN("HOTPATH"),
+     "tools/hotpath_baseline.json",
      "PPROX_ECALL_BOUNDARY must not allocate inside the enclave (ROADMAP 3)"},
-    {"ecall-block", "PPROX_ECALL_BOUNDARY must not reach a blocking op"},
-    {"hotpath-bare-suppression",
+    {"hotpath", "ecall-block", PPROX_OK_TOKEN("HOTPATH"),
+     "tools/hotpath_baseline.json",
+     "PPROX_ECALL_BOUNDARY must not reach a blocking op"},
+    {"hotpath", "hotpath-bare-suppression", "(never suppressible)",
+     "tools/hotpath_baseline.json",
      "hot-path suppressions must carry a ': <why>'"},
-    {"lock-order",
+    {"locks", "lock-order", PPROX_OK_TOKEN("LOCKS"),
+     "tools/locks_baseline.json",
      "no cycle in the global lock-acquisition-order graph (deadlock)"},
-    {"lock-blocking",
+    {"locks", "lock-blocking", PPROX_OK_TOKEN("LOCKS"),
+     "tools/locks_baseline.json",
      "no blocking leaf (sleep/join/syscall/pool submit) while a lock is "
      "held; CondVar::wait on the released lock is exempt"},
-    {"lock-ecall",
+    {"locks", "lock-ecall", PPROX_OK_TOKEN("LOCKS"),
+     "tools/locks_baseline.json",
      "no lock held across the enclave boundary (PPROX_ECALL_BOUNDARY or "
      "Enclave::ecall)"},
-    {"lock-manual",
+    {"locks", "lock-manual", PPROX_OK_TOKEN("LOCKS"),
+     "tools/locks_baseline.json",
      "bare .lock()/.unlock() outside common/sync.hpp; use RAII guards or "
      "ScopedUnlock"},
-    {"wait-nopred", "CondVar::wait must carry a predicate argument"},
-    {"locks-bare-suppression",
+    {"locks", "wait-nopred", PPROX_OK_TOKEN("LOCKS"),
+     "tools/locks_baseline.json",
+     "CondVar::wait must carry a predicate argument"},
+    {"locks", "locks-bare-suppression", "(never suppressible)",
+     "tools/locks_baseline.json",
      "lock-discipline suppressions must carry a ': <why>'"},
-    {"ct-branch",
+    {"ct", "ct-branch", PPROX_OK_TOKEN("CT"), "tools/ct_baseline.json",
      "secret-tainted value reaches a branch condition or loop bound"},
-    {"ct-index", "secret-tainted value reaches an array subscript"},
-    {"ct-varlat",
+    {"ct", "ct-index", PPROX_OK_TOKEN("CT"), "tools/ct_baseline.json",
+     "secret-tainted value reaches an array subscript"},
+    {"ct", "ct-varlat", PPROX_OK_TOKEN("CT"), "tools/ct_baseline.json",
      "secret-tainted operand of a variable-latency op (/ % "
      "BigInt::compare/divmod/modinv)"},
-    {"ct-bare-suppression",
+    {"ct", "ct-bare-suppression", "(never suppressible)",
+     "tools/ct_baseline.json",
      "constant-time suppressions must carry a ': <why>'"},
+    {"lifetime", "lifetime-return-local", PPROX_OK_TOKEN("LIFETIME"),
+     "tools/lifetime_baseline.json",
+     "a view-returning function must not return a view of a local or an "
+     "owning temporary"},
+    {"lifetime", "lifetime-ref-capture-escape", PPROX_OK_TOKEN("LIFETIME"),
+     "tools/lifetime_baseline.json",
+     "no by-ref or unowned-this lambda capture into a sink that outlives "
+     "the frame (ThreadPool/ShuffleQueue/DetThread/callbacks); "
+     "weak_ptr/shared_from_this guards recognized"},
+    {"lifetime", "lifetime-view-member", PPROX_OK_TOKEN("LIFETIME"),
+     "tools/lifetime_baseline.json",
+     "view-typed data members alias bytes the object does not own"},
+    {"lifetime", "lifetime-arena-escape", PPROX_OK_TOKEN("LIFETIME"),
+     "tools/lifetime_baseline.json",
+     "no view of a per-connection/per-batch buffer stored past the "
+     "handler return"},
+    {"lifetime", "lifetime-bare-suppression", "(never suppressible)",
+     "tools/lifetime_baseline.json",
+     "lifetime suppressions must carry a ': <why>'"},
 };
+
+#undef PPROX_ALLOW_TOKEN
+#undef PPROX_OK_TOKEN
 
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -1019,8 +1083,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout
-          << "usage: pprox_lint [--flow|--hotpath|--locks|--ct] [--json] "
-             "[--baseline FILE] "
+          << "usage: pprox_lint [--flow|--hotpath|--locks|--ct|--lifetime] "
+             "[--json] [--baseline FILE] "
              "[--baseline-write FILE] [--list-rules] <dir-or-file>...\n"
              "crypto rules: rand, memcmp, secure-wipe, secret-index, "
              "intrinsics, raw-sync, bare-suppression\n"
@@ -1033,10 +1097,14 @@ int main(int argc, char** argv) {
              "lock-manual, wait-nopred, locks-bare-suppression\n"
              "ct rules (--ct): ct-branch, ct-index, ct-varlat, "
              "ct-bare-suppression\n"
+             "lifetime rules (--lifetime): lifetime-return-local, "
+             "lifetime-ref-capture-escape, lifetime-view-member, "
+             "lifetime-arena-escape, lifetime-bare-suppression\n"
              "suppress: // pprox-lint: allow(<rule>): <why>   (crypto/flow)\n"
              "          // PPROX-HOTPATH-OK(<effect>): <why>  (hotpath)\n"
              "          // PPROX-LOCKS-OK(<aspect>): <why>    (locks)\n"
              "          // PPROX-CT-OK(<aspect>): <why>       (ct)\n"
+             "          // PPROX-LIFETIME-OK(<aspect>): <why> (lifetime)\n"
              "--json prints findings, per-rule totals, and the per-unit "
              "layer/include graph\n"
              "--baseline compares against FILE and fails only on regressions "
@@ -1064,6 +1132,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--ct") {
       opts.ct = true;
+      continue;
+    }
+    if (arg == "--lifetime") {
+      opts.lifetime = true;
       continue;
     }
     if (arg == "--json") {
@@ -1094,13 +1166,27 @@ int main(int argc, char** argv) {
     collect(arg, opts.inputs);
   }
   if (opts.list_rules) {
-    std::size_t width = 0;
+    // One consolidated table across all passes: pass, rule, suppression
+    // token, baseline file, then the summary indented on its own line (the
+    // summaries are full sentences; a fifth column would wrap badly).
+    std::size_t wp = std::string("PASS").size();
+    std::size_t wn = std::string("RULE").size();
+    std::size_t ws = std::string("SUPPRESSION").size();
     for (const RuleDoc& doc : kRuleDocs) {
-      width = std::max(width, std::string(doc.name).size());
+      wp = std::max(wp, std::string(doc.pass).size());
+      wn = std::max(wn, std::string(doc.name).size());
+      ws = std::max(ws, std::string(doc.suppress).size());
     }
+    std::cout << std::left << std::setw(static_cast<int>(wp)) << "PASS"
+              << "  " << std::setw(static_cast<int>(wn)) << "RULE" << "  "
+              << std::setw(static_cast<int>(ws)) << "SUPPRESSION" << "  "
+              << "BASELINE\n";
     for (const RuleDoc& doc : kRuleDocs) {
-      std::cout << "  " << std::left << std::setw(static_cast<int>(width))
-                << doc.name << "  " << doc.summary << "\n";
+      std::cout << std::left << std::setw(static_cast<int>(wp)) << doc.pass
+                << "  " << std::setw(static_cast<int>(wn)) << doc.name
+                << "  " << std::setw(static_cast<int>(ws)) << doc.suppress
+                << "  " << doc.baseline << "\n"
+                << std::string(wp + 2, ' ') << "- " << doc.summary << "\n";
     }
     return 0;
   }
@@ -1133,6 +1219,14 @@ int main(int argc, char** argv) {
     copts.baseline_write = opts.baseline_write;
     copts.inputs = opts.inputs;
     return ct::run(copts);
+  }
+  if (opts.lifetime) {
+    lifetime::Options lfopts;
+    lfopts.json = opts.json;
+    lfopts.baseline = opts.baseline;
+    lfopts.baseline_write = opts.baseline_write;
+    lfopts.inputs = opts.inputs;
+    return lifetime::run(lfopts);
   }
 
   std::vector<Finding> findings;
@@ -1169,10 +1263,9 @@ int main(int argc, char** argv) {
     bool first = true;
     for (const RuleDoc& doc : kRuleDocs) {
       const auto it = totals.find(doc.name);
-      if (std::string(doc.name).rfind("hot", 0) == 0 ||
-          std::string(doc.name).rfind("ecall", 0) == 0 ||
-          std::string(doc.name) == "nonblocking-block") {
-        continue;  // hotpath rules live in the key-based baseline
+      const std::string pass = doc.pass;
+      if (pass != "crypto" && pass != "flow") {
+        continue;  // call-graph passes live in their key-based baselines
       }
       out << (first ? "" : ",") << "\n    \"" << doc.name
           << "\": " << (it == totals.end() ? 0 : it->second);
