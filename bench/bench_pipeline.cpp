@@ -11,7 +11,10 @@
 // variant; scripts/bench_report.py turns the pair into BENCH_pipeline.json.
 #include <benchmark/benchmark.h>
 
+#include <condition_variable>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/encoding.hpp"
 #include "crypto/accel.hpp"
@@ -27,15 +30,29 @@ using namespace pprox;
 /// the backend is pinned so RSA keygen and key provisioning also run on the
 /// measured path, but outside the timed loop either way.
 struct PipelineFixture {
-  explicit PipelineFixture(bool authenticated)
+  explicit PipelineFixture(bool authenticated, int shuffle_size = 0)
       : rng(to_bytes("bench-pipeline")),
-        deployment(make_config(authenticated), lrs, rng),
+        deployment(make_config(authenticated, shuffle_size), lrs, rng),
         client(deployment.make_client(&rng)) {}
 
-  static DeploymentConfig make_config(bool authenticated) {
+  static DeploymentConfig make_config(bool authenticated, int shuffle_size) {
     DeploymentConfig config;
-    config.shuffle_size = 0;  // shuffling batches would hide per-op cost
+    // The per-op series keep shuffle_size = 0 (shuffling batches would hide
+    // per-op cost); the batchS series below measure exactly that batching.
+    config.shuffle_size = shuffle_size;
+    // Short timer: the timed loop fills buffers in microseconds, so flushes
+    // are size-triggered; the timer only drains the tail wave after the
+    // loop, outside the measurement.
+    config.shuffle_timeout = std::chrono::milliseconds(200);
     config.authenticated_responses = authenticated;
+    if (shuffle_size > 0) {
+      // One worker per proxy for the batchS series: on the 1-CPU bench
+      // machines extra workers only add context-switch churn between the
+      // submitting thread and the pool, which shows up as per-request noise
+      // that can bury the batching amortization. The per-op series keep the
+      // default pool so their committed baselines stay comparable.
+      config.worker_threads = 1;
+    }
     return config;
   }
 
@@ -102,6 +119,94 @@ void BM_PipelineGet(benchmark::State& state, crypto::accel::Backend backend) {
 BENCHMARK_CAPTURE(BM_PipelineGet, portable, crypto::accel::Backend::kPortable)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PipelineGet, accel, crypto::accel::Backend::kAccelerated)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched read path (ROADMAP item 3): S concurrent gets ride each shuffle
+// flush, so the enclave transitions (one per flush instead of one per
+// request), scratch acquisition, keystream derivation and wakeups amortize
+// across the batch. The client-side RSA-OAEP encryptions are prebuilt
+// outside the timed loop — they are user-device work, and at ~74us apiece
+// they would otherwise swamp the proxy-side cost this series measures. Each
+// iteration submits one request; every S-th iteration waits for the whole
+// wave, so per-iteration cpu_time is per-request proxy cost at batch size S.
+void BM_PipelineGet(benchmark::State& state, crypto::accel::Backend backend,
+                    int batch) {
+  if (!pin_backend(state, backend)) return;
+  PipelineFixture fx(/*authenticated=*/false, batch);
+  fx.seed_and_train();
+  std::vector<http::HttpRequest> wave;
+  for (int i = 0; i < batch; ++i) {
+    auto call = fx.client.build_get_request("probe");
+    if (!call.ok()) {
+      state.SkipWithError("build_get_request failed");
+      return;
+    }
+    wave.push_back(std::move(call.value().request));
+  }
+  const auto entry = fx.deployment.entry_channel();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t done = 0;
+  std::uint64_t target = 0;
+  bool failed = false;
+  // Notify only when the wave completes: a notify per response would wake
+  // the waiting bench thread S-1 extra times per wave, charging it a
+  // constant per-request futex cost that buries the batching amortization
+  // this series exists to show.
+  const auto on_response = [&](http::HttpResponse response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (response.status != 200) failed = true;
+    ++done;
+    if (done == target) cv.notify_one();
+  };
+
+  std::uint64_t sent = 0;
+  bool errored = false;
+  for (auto _ : state) {
+    entry->send(wave[sent % wave.size()], on_response);
+    ++sent;
+    if (sent % wave.size() == 0) {
+      std::unique_lock<std::mutex> lock(mutex);
+      target = sent;
+      cv.wait(lock, [&] { return done >= target; });
+      if (failed && !errored) {
+        errored = true;
+        state.SkipWithError("get failed");
+      }
+    }
+  }
+  {
+    // Drain the tail wave (timer-flushed) before tearing down the latch.
+    std::unique_lock<std::mutex> lock(mutex);
+    target = sent;
+    cv.wait(lock, [&] { return done >= target; });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS1/portable,
+                  crypto::accel::Backend::kPortable, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS1/accel,
+                  crypto::accel::Backend::kAccelerated, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS8/portable,
+                  crypto::accel::Backend::kPortable, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS8/accel,
+                  crypto::accel::Backend::kAccelerated, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS32/portable,
+                  crypto::accel::Backend::kPortable, 32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS32/accel,
+                  crypto::accel::Backend::kAccelerated, 32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS128/portable,
+                  crypto::accel::Backend::kPortable, 128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineGet, batchS128/accel,
+                  crypto::accel::Backend::kAccelerated, 128)
     ->Unit(benchmark::kMillisecond);
 
 // Read path with AES-GCM response protection — adds a GHASH pass per

@@ -15,7 +15,8 @@ under "single".
 --compare takes two files in the *processed* BENCH_*.json format (the
 committed baseline and a freshly generated report) and exits 1 if any
 benchmark's cpu time regressed by more than --threshold (default 0.15,
-i.e. 15% slower). Benchmarks present on only one side are reported but do
+i.e. 15% slower). High-variance series carry their own allowance (see
+SERIES_THRESHOLDS). Benchmarks present on only one side are reported but do
 not fail the gate: adding or retiring a benchmark is not a regression.
 """
 
@@ -35,6 +36,22 @@ def fmt_time(ns):
         if abs(ns) >= div:
             return f"{ns / div:.3g}{unit}"
     return f"{ns:.3g}ns"
+
+
+# Per-series regression allowances overriding --threshold. The batched
+# pipeline series measure end-to-end waves through both proxies (thread
+# wakeups, shuffle flush timing, worker-pool handoffs), so their run-to-run
+# variance is far above the kernel micro-benches the default 15% targets.
+SERIES_THRESHOLDS = {
+    "BM_PipelineGet/batchS": 0.5,
+}
+
+
+def threshold_for(name, default):
+    for prefix, frac in SERIES_THRESHOLDS.items():
+        if name.startswith(prefix):
+            return frac
+    return default
 
 
 def compare(baseline_path, new_path, threshold):
@@ -75,7 +92,7 @@ def compare(baseline_path, new_path, threshold):
             compared += 1
             ratio = new_t / old_t  # >1 means slower
             label = f"{name}/{backend}"
-            if ratio > 1 + threshold:
+            if ratio > 1 + threshold_for(name, threshold):
                 regressions.append((label, ratio))
                 print(f"  REGRESSION {label}: {fmt_time(old_t)} -> "
                       f"{fmt_time(new_t)} ({(ratio - 1) * 100:+.1f}%)")
@@ -97,9 +114,14 @@ def compare(baseline_path, new_path, threshold):
 def backend_split(name):
     """Returns (base_name, backend) where backend is portable/accel/None."""
     m = re.match(r"^(?P<fn>[^/]+)/(?P<backend>portable|accel)(?P<args>(/.*)?)$", name)
+    if m:
+        return m.group("fn") + m.group("args"), m.group("backend")
+    # The batchS pipeline series register as <name>/<series>/<backend>
+    # (backend last) so the series name stays adjacent to the function name.
+    m = re.match(r"^(?P<fn>.+)/(?P<backend>portable|accel)$", name)
     if not m:
         return name, None
-    return m.group("fn") + m.group("args"), m.group("backend")
+    return m.group("fn"), m.group("backend")
 
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -275,10 +275,12 @@ ctest --test-dir "$ROOT/build-asan" -R '^lint_fixture_' \
       --output-on-failure -j "$JOBS"
 
 if [[ "$MODE" == "--quick" ]]; then
-  step "ASan/UBSan smoke: test_concurrent + test_pipeline"
+  # test_batch is the batched-vs-sequential ecall differential (DESIGN.md
+  # §15): under ASan it also proves the arena recycling/wipe discipline.
+  step "ASan/UBSan smoke: test_concurrent + test_pipeline + test_batch"
   configure_and_build build-asan "address;undefined" \
-      --target test_concurrent test_pipeline
-  ctest --test-dir "$ROOT/build-asan" -R 'test_(concurrent|pipeline)$' \
+      --target test_concurrent test_pipeline test_batch
+  ctest --test-dir "$ROOT/build-asan" -R 'test_(concurrent|pipeline|batch)$' \
         --output-on-failure -j "$JOBS"
   step "quick gate PASSED"
   summary

@@ -1,5 +1,6 @@
 #include "crypto/ctr.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -39,6 +40,9 @@ void ctr_crypt_inplace(const Aes& cipher, const std::array<std::uint8_t, 16>& iv
     for (std::size_t b = 0; b < nblocks; ++b) {
       store_be64(counters + 16 * b, hi);
       store_be64(counters + 16 * b + 8, lo);
+      // PPROX-CT-OK(branch): carry on the 128-bit block counter — the
+      // counter is IV + block index, public by CTR construction (the IV
+      // ships with the ciphertext, or is the fixed zero IV for det mode).
       if (++lo == 0) ++hi;
     }
     cipher.encrypt_blocks(counters, keystream, nblocks);
@@ -72,6 +76,12 @@ Bytes DeterministicCipher::encrypt(ByteView plaintext) const {
 
 Bytes DeterministicCipher::decrypt(ByteView ciphertext) const {
   return encrypt(ciphertext);  // CTR is an involution for a fixed IV.
+}
+
+void DeterministicCipher::keystream(MutByteView out) const {
+  static constexpr std::array<std::uint8_t, 16> kZeroIv{};
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  ctr_crypt_inplace(aes_, kZeroIv, out);  // 0 XOR ks = ks
 }
 
 RandomIvCipher::RandomIvCipher(ByteView key) : aes_(key) {

@@ -42,6 +42,13 @@ class DeterministicCipher {
   PPROX_HOT Bytes encrypt(ByteView plaintext) const;
   PPROX_HOT Bytes decrypt(ByteView ciphertext) const;
 
+  /// Writes the raw zero-IV keystream prefix into `out`. Because the IV is
+  /// constant, the keystream is message-independent: XORing it into any
+  /// plaintext of out.size() bytes is bit-for-bit equal to encrypt(). The
+  /// batch entry points compute it once per layer key and reuse it across
+  /// every identifier block in a flush.
+  PPROX_HOT PPROX_NONBLOCKING void keystream(MutByteView out) const;
+
  private:
   Aes aes_;
 };

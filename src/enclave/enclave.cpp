@@ -1,5 +1,7 @@
 #include "enclave/enclave.hpp"
 
+#include <stdexcept>
+
 #include "crypto/ct.hpp"
 #include "crypto/ctr.hpp"
 #include "crypto/hybrid.hpp"
@@ -20,6 +22,14 @@ Enclave::Enclave(std::string code_identity, RandomSource& rng,
   channel_pub_ = std::move(pair.pub);
   channel_priv_ = std::move(pair.priv);
   platform_seal_key_ = enclave_rng_.bytes(32);
+}
+
+void Enclave::require_provisioned() const {
+  // PPROX-CT-OK(branch): provisioning state is public deployment lifecycle,
+  // not secret data.
+  if (!provisioned_) {
+    throw std::logic_error("Enclave: ecall before provision");
+  }
 }
 
 Status Enclave::provision(ByteView encrypted) {

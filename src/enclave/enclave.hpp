@@ -70,7 +70,7 @@ class Enclave {
   /// their own annotations.
   template <typename Fn>
   PPROX_ECALL_BOUNDARY auto ecall(Fn&& fn) const -> decltype(fn(ByteView{})) {
-    if (!provisioned_) throw std::logic_error("Enclave: ecall before provision");
+    require_provisioned();
     transitions_.fetch_add(1, std::memory_order_relaxed);
     return std::forward<Fn>(fn)(ByteView(secrets_));
   }
@@ -97,6 +97,12 @@ class Enclave {
   Result<crypto::RsaPrivateKey> exfiltrate_channel_key() const;
 
  private:
+  /// Cold precondition check for ecall(): throws std::logic_error when not
+  /// yet provisioned. Out-of-line and unannotated on purpose — the throw is
+  /// a programmer-error trap, not part of the transition's hot path, so the
+  /// PPROX_ECALL_BOUNDARY annotation on ecall() stays honest.
+  void require_provisioned() const;
+
   std::string code_identity_;
   Measurement measurement_;
   crypto::RsaPublicKey channel_pub_;

@@ -1,0 +1,33 @@
+// PPROX-LAYER: shared
+#include "pprox/batch.hpp"
+
+#include <algorithm>
+
+namespace pprox {
+
+BatchArena::BatchArena(std::size_t capacity) : storage_(capacity, 0) {}
+
+BatchArena::~BatchArena() { wipe_and_reset(); }
+
+MutByteView BatchArena::alloc(std::size_t n) {
+  if (used_ + n <= storage_.size()) {
+    MutByteView view(storage_.data() + used_, n);
+    used_ += n;
+    std::fill(view.begin(), view.end(), std::uint8_t{0});
+    return view;
+  }
+  // PPROX-HOTPATH-OK(alloc): overflow chunk — only taken when a batch
+  // outgrows the construction-time reservation (scratch is sized for S full
+  // responses, so this is a sizing bug surfacing cold, not steady state).
+  overflow_.emplace_back(n, 0);
+  return MutByteView(overflow_.back());
+}
+
+void BatchArena::wipe_and_reset() {
+  secure_wipe(MutByteView(storage_.data(), used_));
+  used_ = 0;
+  for (Bytes& chunk : overflow_) secure_wipe(chunk);
+  overflow_.clear();
+}
+
+}  // namespace pprox

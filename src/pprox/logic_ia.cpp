@@ -1,6 +1,8 @@
 // PPROX-LAYER: ia
 #include "pprox/logic_ia.hpp"
 
+#include <algorithm>
+
 #include "common/encoding.hpp"
 #include "crypto/gcm.hpp"
 #include "crypto/rsa.hpp"
@@ -93,6 +95,146 @@ Result<IaLogic::GetRequest> IaLogic::transform_get_request(std::string body) con
   // forwarded get calls look identical in shape.
   json::replace_string_field(body, fields::kTempKey, "");
   return GetRequest{std::move(body), std::move(k_u.value())};
+}
+
+void IaLogic::transform_batch(std::span<IaRequestSlot> slots,
+                              BatchArena& /*arena*/) {
+  // Posts and gets are JSON rewrites around a single RSA decrypt each —
+  // there is no shared keystream to vectorize, so the batch win here is
+  // purely the amortized transition: S transforms under ONE ecall. The
+  // per-slot transforms reuse the sequential entry points so the results
+  // (and error strings) are identical by construction.
+  for (IaRequestSlot& slot : slots) {
+    // PPROX-CT-OK(branch): request kind is the HTTP method — adversary-
+    // visible wire metadata, not secret plaintext.
+    if (slot.is_get) {
+      auto got = slot.logic->transform_get_request(std::move(*slot.body));
+      if (!got.ok()) {
+        slot.status = got.error();
+        continue;
+      }
+      *slot.body = std::move(got.value().body);
+      slot.k_u = std::move(got.value().k_u);
+    } else {
+      auto posted = slot.logic->transform_post_request(std::move(*slot.body),
+                                                       slot.pseudonymize_items);
+      if (!posted.ok()) {
+        slot.status = posted.error();
+        continue;
+      }
+      *slot.body = std::move(posted.value());
+    }
+  }
+}
+
+void IaLogic::seal_batch(std::span<IaSealSlot> slots, RandomSource& rng,
+                         BatchArena& arena) {
+  // Phase 1 — parse every LRS body and gather its pseudonym blocks into one
+  // contiguous arena region per slot. Error strings match the sequential
+  // transform_get_response path exactly so the differential test can
+  // compare failures bit-for-bit too.
+  for (IaSealSlot& slot : slots) {
+    const auto doc = json::parse(*slot.lrs_body);
+    if (!doc.ok()) {
+      slot.status = doc.error();
+      continue;
+    }
+    const json::JsonValue* items = doc.value().find(fields::kItems);
+    // PPROX-CT-OK(branch): JSON framing of the LRS response body.
+    if (items == nullptr || !items->is_array()) {
+      slot.status = Error::parse("LRS response has no items list");
+      continue;
+    }
+    const auto& array = items->as_array();
+    slot.blocks = arena.alloc(array.size() * kIdBlockSize);
+    slot.item_count = 0;
+    for (const auto& entry : array) {
+      // PPROX-CT-OK(branch): base64/size framing of stored wire-format rows.
+      if (!entry.is_string()) {
+        slot.status = Error::parse("non-string item in response");
+        break;
+      }
+      const auto cipher = base64_decode(entry.as_string());
+      // PPROX-CT-OK(branch): base64 framing of stored wire-format rows.
+      if (!cipher) {
+        slot.status = Error::parse("pseudonym is not valid base64");
+        break;
+      }
+      // PPROX-CT-OK(branch): size framing of stored wire-format rows.
+      if (cipher->size() != kIdBlockSize) {
+        slot.status = Error::parse("pseudonym block has wrong size");
+        break;
+      }
+      std::copy(cipher->begin(), cipher->end(),
+                slot.blocks.begin() +
+                    static_cast<std::ptrdiff_t>(slot.item_count * kIdBlockSize));
+      ++slot.item_count;
+    }
+  }
+
+  // Phase 2 — vectorized de-pseudonymize. det decrypt is zero-IV CTR, i.e.
+  // a message-independent keystream XOR: compute it once per tenant logic
+  // (the 8-wide AES kernel runs once per tenant per flush) and sweep it
+  // across every gathered block.
+  const IaLogic* keyed_for = nullptr;
+  MutByteView ks{};
+  for (IaSealSlot& slot : slots) {
+    if (!slot.status.ok()) continue;
+    // PPROX-CT-OK(branch): tenant-routing identity of the slot, not secret
+    // plaintext — which logic instance a response targets is adversary-visible
+    // wire metadata; the gathered blocks stay branch-free (XOR only).
+    if (slot.logic != keyed_for) {
+      ks = arena.alloc(kIdBlockSize);
+      slot.logic->det_.keystream(ks);
+      keyed_for = slot.logic;
+    }
+    for (std::size_t i = 0; i < slot.item_count; ++i) {
+      xor_into(slot.blocks.subspan(i * kIdBlockSize, kIdBlockSize), ks);
+    }
+  }
+
+  // Phase 3 — unpad, pad to the constant list length, and seal under k_u.
+  // Slot order fixes the rng consumption order, and failed slots consume
+  // none — exactly what S sequential calls against the same source do.
+  for (IaSealSlot& slot : slots) {
+    if (!slot.status.ok()) continue;
+    std::vector<ItemId> plain_items;
+    plain_items.reserve(slot.item_count);
+    for (std::size_t i = 0; i < slot.item_count; ++i) {
+      const auto sub = slot.blocks.subspan(i * kIdBlockSize, kIdBlockSize);
+      const SensitiveBlock<taint::ItemDomain> block{Bytes(sub.begin(), sub.end())};
+      auto id = unpad_sensitive_id(block);
+      if (!id.ok()) {
+        slot.status = id.error();
+        break;
+      }
+      plain_items.push_back(std::move(id.value()));
+    }
+    if (!slot.status.ok()) continue;
+    auto block = encode_sensitive_response_block(
+        pad_sensitive_recommendations(std::move(plain_items)));
+    if (!block.ok()) {
+      slot.status = block.error();
+      continue;
+    }
+    // PPROX-DECLASSIFY: the serialized list is immediately sealed under the
+    // per-request key k_u, which only this enclave and the requesting client
+    // hold; the UA and the network observe ciphertext of constant size.
+    const Bytes& raw_block = taint::declassify_for_encryption(block.value());
+    Bytes encrypted;
+    // PPROX-CT-OK(branch): deployment-config flag, fixed per proxy.
+    if (slot.authenticated) {
+      const crypto::AesGcm cipher(slot.k_u);
+      encrypted = cipher.seal_with_random_nonce(raw_block, rng);
+    } else {
+      const crypto::RandomIvCipher cipher(slot.k_u);
+      encrypted = cipher.encrypt(raw_block, rng);
+    }
+    json::JsonValue out{json::JsonObject{}};
+    out.set(fields::kPayload, base64_encode(encrypted));
+    out.set(fields::kEncryptionMode, slot.authenticated ? "gcm" : "ctr");
+    slot.sealed = out.dump();
+  }
 }
 
 Result<ItemId> IaLogic::de_pseudonymize_item(

@@ -10,16 +10,47 @@
 //  get response:  det_enc(i_x,kIA) list -> pad to 20 -> enc(list, k_u)
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/hotpath.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
 #include "crypto/ctr.hpp"
+#include "pprox/batch.hpp"
 #include "pprox/keys.hpp"
 #include "pprox/message.hpp"
 
 namespace pprox {
+
+class IaLogic;
+
+/// One pending request inside a batched IA ecall. The host fills the inputs
+/// (`logic`, `body`, `is_get`, `pseudonymize_items`); the enclave rewrites
+/// `body` in place, deposits the recovered temporary key in `k_u` for gets,
+/// and reports per-slot success in `status`.
+struct IaRequestSlot {
+  const IaLogic* logic = nullptr;
+  std::string* body = nullptr;
+  bool is_get = false;
+  bool pseudonymize_items = true;
+  Bytes k_u;  ///< out: per-request response key (gets only); key material.
+  Status status;
+};
+
+/// One pending LRS response inside a batched IA seal ecall. `blocks` and
+/// `item_count` are enclave-internal arena scratch — hosts must not touch
+/// them.
+struct IaSealSlot {
+  const IaLogic* logic = nullptr;
+  const std::string* lrs_body = nullptr;
+  ByteView k_u{};
+  bool authenticated = false;
+  std::string sealed;  ///< out: constant-size k_u-ciphertext JSON envelope.
+  Status status;
+  MutByteView blocks{};
+  std::size_t item_count = 0;
+};
 
 /// Item-Anonymizer enclave code.
 class IaLogic {
@@ -52,6 +83,25 @@ class IaLogic {
   PPROX_ECALL_BOUNDARY Result<std::string> transform_get_response(
       const std::string& lrs_body, ByteView k_u, RandomSource& rng,
       bool authenticated = false) const;
+
+  /// Batched request transform: runs transform_post_request /
+  /// transform_get_request over every slot inside ONE ecall, so the
+  /// simulated transition cost is paid once per flush instead of once per
+  /// request. Per-slot failures land in slot.status; other slots complete.
+  PPROX_ECALL_BOUNDARY static void transform_batch(
+      std::span<IaRequestSlot> slots, BatchArena& arena);
+
+  /// Batched form of transform_get_response: de-pseudonymizes, pads and
+  /// seals every slot's LRS item list inside ONE ecall. Pseudonym blocks
+  /// are gathered contiguously in `arena` and the zero-IV CTR keystream is
+  /// computed once per distinct tenant logic, then XORed across all of that
+  /// tenant's blocks (det decrypt, vectorized). `rng` is consumed in slot
+  /// order by successful seals only — bit-for-bit identical to S sequential
+  /// transform_get_response calls against an equally-seeded source. The
+  /// caller owns wiping `arena` after results are copied out.
+  PPROX_ECALL_BOUNDARY static void seal_batch(std::span<IaSealSlot> slots,
+                                              RandomSource& rng,
+                                              BatchArena& arena);
 
   /// Decrypts one pseudonymized item id. The result is item-domain tainted:
   /// callers must either keep it wrapped (the get-response path re-encrypts

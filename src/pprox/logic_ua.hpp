@@ -10,15 +10,30 @@
 //  responses:         pass through untouched (they are opaque to UA).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/hotpath.hpp"
 #include "common/result.hpp"
 #include "crypto/ctr.hpp"
+#include "pprox/batch.hpp"
 #include "pprox/keys.hpp"
 #include "pprox/message.hpp"
 
 namespace pprox {
+
+class UaLogic;
+
+/// One pending request inside a batched UA ecall. The host fills `logic`
+/// (the request's tenant) and `body`; the enclave rewrites `body` in place
+/// and reports per-slot success in `status`. `staged` is enclave-internal
+/// arena scratch — hosts must not touch it.
+struct UaBatchSlot {
+  const UaLogic* logic = nullptr;
+  std::string* body = nullptr;
+  Status status;
+  MutByteView staged{};
+};
 
 /// User-Anonymizer enclave code.
 class UaLogic {
@@ -32,6 +47,16 @@ class UaLogic {
   /// base64 round trips are ratcheted in tools/hotpath_baseline.json.
   PPROX_ECALL_BOUNDARY Result<std::string> transform_request(
       std::string body) const;
+
+  /// Batched form of transform_request: pseudonymizes every slot's "user"
+  /// field inside ONE ecall. Identifier blocks are staged in `arena` and the
+  /// zero-IV CTR keystream is computed once per distinct tenant logic, then
+  /// XORed across all of that tenant's blocks — bit-for-bit identical to S
+  /// sequential transform_request calls (the keystream is message-
+  /// independent). Per-slot failures land in slot.status; other slots still
+  /// complete. The caller owns wiping `arena` after results are copied out.
+  PPROX_ECALL_BOUNDARY static void transform_batch(
+      std::span<UaBatchSlot> slots, BatchArena& arena);
 
   /// Responses traverse the UA unchanged (encrypted under k_u or opaque).
   std::string transform_response(std::string body) const { return body; }

@@ -34,14 +34,23 @@ ProxyServer::ProxyServer(ProxyOptions options, enclave::Enclave& enclave,
       enclave_(&enclave),
       next_(std::move(next)),
       workers_(options.worker_threads),
-      request_shuffle_(options.layer == ProxyOptions::Layer::kUa
-                           ? options.shuffle_size
-                           : 0,
-                       options.shuffle_timeout),
+      // Both layers batch their inbound requests now: the per-flush ecall
+      // amortizes the transition cost for the IA exactly as for the UA.
+      request_shuffle_(options.shuffle_size, options.shuffle_timeout),
       response_shuffle_(options.layer == ProxyOptions::Layer::kIa
                             ? options.shuffle_size
                             : 0,
                         options.shuffle_timeout) {
+  // Batch release: the whole shuffled batch crosses the enclave boundary as
+  // ONE ecall inside these sinks (set before any request can arrive).
+  request_shuffle_.set_batch_sink(
+      [this](std::span<PendingRequest> batch, const FlushInfo&) {
+        release_request_batch(batch);
+      });
+  response_shuffle_.set_batch_sink(
+      [this](std::span<PendingResponse> batch, const FlushInfo&) {
+        release_response_batch(batch);
+      });
   // Initial ecall: deserialize the provisioned secrets into enclave-resident
   // logic objects. Throws if the enclave was not attested+provisioned first.
   // The blob is either one application's LayerSecrets or a TenantKeyring.
@@ -87,10 +96,40 @@ const IaLogic* ProxyServer::ia_logic_for(const std::string& tenant) const {
 }
 
 ProxyServer::~ProxyServer() {
-  // Release queued work before tearing down the worker pool.
+  // Release queued work before tearing down the worker pool. Order matters:
+  // flushing pending requests can produce responses (synchronous channels)
+  // whose processing rides the worker pool into response_shuffle_, so the
+  // response flush must come after the pool drains.
   request_shuffle_.flush_now();
-  response_shuffle_.flush_now();
   workers_.shutdown();
+  response_shuffle_.flush_now();
+}
+
+std::unique_ptr<ProxyServer::BatchScratch> ProxyServer::acquire_scratch() {
+  {
+    LockGuard lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      auto scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  // PPROX-HOTPATH-OK(alloc): cold — first flush (or concurrent flushes
+  // beyond the pooled count); the scratch returns to the pool afterwards,
+  // so steady state reuses it allocation-free.
+  const auto slots = static_cast<std::size_t>(
+      options_.shuffle_size > 1 ? options_.shuffle_size : 1);
+  return std::make_unique<BatchScratch>(slots * kResponseBlockSize + 4096,
+                                        slots);
+}
+
+void ProxyServer::recycle_scratch(std::unique_ptr<BatchScratch> scratch) {
+  scratch->arena.wipe_and_reset();
+  scratch->ua_slots.clear();
+  scratch->ia_slots.clear();
+  scratch->seal_slots.clear();
+  LockGuard lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
 }
 
 void ProxyServer::fail(const net::RespondFn& done, int status,
@@ -121,26 +160,10 @@ void ProxyServer::handle_ua(http::HttpRequest request, net::RespondFn done) {
     fail(done, 403, "unknown tenant application");
     return;
   }
-  auto transformed = enclave_->ecall([logic, &request](ByteView) {
-    return logic->transform_request(std::move(request.body));
-  });
-  if (!transformed.ok()) {
-    fail(done, 400, transformed.error().message);
-    return;
-  }
-  // No Content-Length rewrite here: serialize_to() recomputes it from the
-  // transformed body, so the std::to_string round trip was pure overhead.
-  request.body = std::move(transformed.value());
-
-  // Shuffle outbound requests towards the IA layer.
-  request_shuffle_.add([this, request = std::move(request),
-                        done = std::move(done)]() mutable {
-    next_->send(std::move(request), [done = std::move(done)](
-                                        http::HttpResponse response) {
-      // Responses pass through the UA untouched (opaque to this layer).
-      done(std::move(response));
-    });
-  });
+  // Only scheduling here: the user-field transform happens at release time,
+  // batched with the rest of the flush inside one ecall.
+  request_shuffle_.add(PendingRequest{std::move(request), std::move(done),
+                                      logic, nullptr, false});
 }
 
 void ProxyServer::handle_ia(http::HttpRequest request, net::RespondFn done) {
@@ -151,75 +174,156 @@ void ProxyServer::handle_ia(http::HttpRequest request, net::RespondFn done) {
     return;
   }
   const bool is_get = request.target == paths::kQueries;
-  // PPROX-CT-OK(branch): GET vs POST dispatch on the public request line.
-  if (!is_get) {
-    auto transformed = enclave_->ecall([this, logic, &request](ByteView) {
-      return logic->transform_post_request(std::move(request.body),
-                                           options_.pseudonymize_items);
-    });
-    if (!transformed.ok()) {
-      fail(done, 400, transformed.error().message);
-      return;
+  request_shuffle_.add(PendingRequest{std::move(request), std::move(done),
+                                      nullptr, logic, is_get});
+}
+
+void ProxyServer::release_request_batch(std::span<PendingRequest> batch) {
+  std::unique_ptr<BatchScratch> scratch = acquire_scratch();
+
+  // Describe the batch to the enclave: one slot per request, transformed
+  // bodies written back in place.
+  // PPROX-CT-OK(branch): layer selection is fixed deployment config.
+  if (options_.layer == ProxyOptions::Layer::kUa) {
+    for (PendingRequest& item : batch) {
+      scratch->ua_slots.push_back(
+          UaBatchSlot{item.ua_logic, &item.request.body, {}, {}});
     }
-    request.body = std::move(transformed.value());
-    next_->send(std::move(request),
-                [this, done = std::move(done)](http::HttpResponse response) {
-                  // Post responses carry no payload worth hiding, but they
-                  // are shuffled like everything else on the return path.
-                  response_shuffle_.add([done = std::move(done),
-                                         response = std::move(response)]() mutable {
+    // ONE ecall for the whole flush (ROADMAP item 3): S pseudonymizations
+    // amortize a single simulated SGX transition.
+    enclave_->ecall([&scratch](ByteView) {
+      UaLogic::transform_batch(std::span<UaBatchSlot>(scratch->ua_slots),
+                               scratch->arena);
+      return 0;
+    });
+    scratch->arena.wipe_and_reset();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PendingRequest& item = batch[i];
+      const Status& status = scratch->ua_slots[i].status;
+      if (!status.ok()) {
+        fail(item.done, 400, status.error().message);
+        continue;
+      }
+      next_->send(std::move(item.request),
+                  [done = std::move(item.done)](http::HttpResponse response) {
+                    // Responses pass through the UA untouched (opaque here).
                     done(std::move(response));
                   });
-                });
+    }
+    recycle_scratch(std::move(scratch));
     return;
   }
 
-  // get: recover k_u inside the enclave and park it in the EPC store.
-  auto transformed = enclave_->ecall([logic, &request](ByteView) {
-    return logic->transform_get_request(std::move(request.body));
+  for (PendingRequest& item : batch) {
+    scratch->ia_slots.push_back(IaRequestSlot{item.ia_logic,
+                                              &item.request.body, item.is_get,
+                                              options_.pseudonymize_items,
+                                              {},
+                                              {}});
+  }
+  enclave_->ecall([&scratch](ByteView) {
+    IaLogic::transform_batch(std::span<IaRequestSlot>(scratch->ia_slots),
+                             scratch->arena);
+    return 0;
   });
-  if (!transformed.ok()) {
-    fail(done, 400, transformed.error().message);
-    return;
-  }
-  const std::uint64_t handle = pending_.put(std::move(transformed.value().k_u));
-  request.body = std::move(transformed.value().body);
-
-  next_->send(std::move(request), [this, logic, handle, done = std::move(done)](
-                                      http::HttpResponse response) mutable {
-    // Process the LRS response in the enclave pool, not the transport thread.
-    workers_.submit([this, logic, handle, done = std::move(done),
-                     response = std::move(response)]() mutable {
-      auto k_u = pending_.take(handle);
-      if (!k_u.ok()) {
-        fail(done, 500, "lost pending response state");
-        return;
-      }
-      if (response.status != 200) {
-        // Propagate LRS errors (still shuffled).
-        response_shuffle_.add([done = std::move(done),
-                               response = std::move(response)]() mutable {
-          done(std::move(response));
-        });
-        return;
-      }
-      auto body = enclave_->ecall([this, logic, &response, &k_u](ByteView) {
-        return logic->transform_get_response(response.body, k_u.value(),
-                                             enclave_rng_,
-                                             options_.authenticated_responses);
-      });
-      if (!body.ok()) {
-        fail(done, 502, body.error().message);
-        return;
-      }
-      http::HttpResponse out = http::HttpResponse::json_response(
-          200, std::move(body.value()));
-      response_shuffle_.add(
-          [done = std::move(done), out = std::move(out)]() mutable {
-            done(std::move(out));
+  scratch->arena.wipe_and_reset();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& item = batch[i];
+    IaRequestSlot& slot = scratch->ia_slots[i];
+    if (!slot.status.ok()) {
+      fail(item.done, 400, slot.status.error().message);
+      continue;
+    }
+    // PPROX-CT-OK(branch): GET vs POST dispatch on the public request line.
+    if (!item.is_get) {
+      next_->send(
+          std::move(item.request),
+          [this, done = std::move(item.done)](http::HttpResponse response) {
+            // Post responses carry no payload worth hiding, but they are
+            // shuffled like everything else on the return path.
+            response_shuffle_.add(PendingResponse{std::move(response),
+                                                  std::move(done), nullptr,
+                                                  {}});
           });
+      continue;
+    }
+    // get: k_u was recovered inside the batch ecall; park it in the EPC
+    // store until the LRS response arrives.
+    const std::uint64_t handle = pending_.put(std::move(slot.k_u));
+    const IaLogic* logic = item.ia_logic;
+    next_->send(
+        std::move(item.request),
+        [this, logic, handle,
+         done = std::move(item.done)](http::HttpResponse response) mutable {
+          // Process the LRS response in the enclave pool, not the transport
+          // thread.
+          workers_.submit([this, logic, handle, done = std::move(done),
+                           response = std::move(response)]() mutable {
+            auto k_u = pending_.take(handle);
+            if (!k_u.ok()) {
+              fail(done, 500, "lost pending response state");
+              return;
+            }
+            if (response.status != 200) {
+              // Propagate LRS errors (still shuffled, passthrough).
+              response_shuffle_.add(PendingResponse{
+                  std::move(response), std::move(done), nullptr, {}});
+              return;
+            }
+            // No per-response ecall here: the seal happens batched, at
+            // response-flush release time.
+            response_shuffle_.add(PendingResponse{std::move(response),
+                                                  std::move(done), logic,
+                                                  std::move(k_u.value())});
+          });
+        });
+  }
+  recycle_scratch(std::move(scratch));
+}
+
+void ProxyServer::release_response_batch(std::span<PendingResponse> batch) {
+  std::unique_ptr<BatchScratch> scratch;
+  for (PendingResponse& item : batch) {
+    if (item.logic == nullptr) continue;  // passthrough: nothing to seal
+    if (!scratch) scratch = acquire_scratch();
+    scratch->seal_slots.push_back(IaSealSlot{item.logic, &item.response.body,
+                                             ByteView(item.k_u),
+                                             options_.authenticated_responses,
+                                             {},
+                                             {},
+                                             {},
+                                             0});
+  }
+  if (scratch) {
+    // ONE ecall seals every response in the flush: the de-pseudonymize
+    // keystream is shared per tenant and the GCM/CTR batch kernels run over
+    // the whole set of response blocks.
+    enclave_->ecall([this, &scratch](ByteView) {
+      IaLogic::seal_batch(std::span<IaSealSlot>(scratch->seal_slots),
+                          enclave_rng_, scratch->arena);
+      return 0;
     });
-  });
+    // Wipe before any response leaves: de-pseudonymized item plaintext must
+    // not outlive the transition that produced it.
+    scratch->arena.wipe_and_reset();
+  }
+
+  std::size_t sealed_index = 0;
+  for (PendingResponse& item : batch) {
+    if (item.logic == nullptr) {
+      item.done(std::move(item.response));
+      continue;
+    }
+    IaSealSlot& slot = scratch->seal_slots[sealed_index++];
+    if (!slot.status.ok()) {
+      fail(item.done, 502, slot.status.error().message);
+    } else {
+      item.done(http::HttpResponse::json_response(200,
+                                                  std::move(slot.sealed)));
+    }
+    secure_wipe(MutByteView(item.k_u.data(), item.k_u.size()));
+  }
+  if (scratch) recycle_scratch(std::move(scratch));
 }
 
 }  // namespace pprox

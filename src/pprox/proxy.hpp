@@ -15,7 +15,9 @@
 
 #include <chrono>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "common/hotpath.hpp"
 #include "common/sync.hpp"
@@ -24,6 +26,7 @@
 #include "crypto/drbg.hpp"
 #include "enclave/enclave.hpp"
 #include "net/channel.hpp"
+#include "pprox/batch.hpp"
 #include "pprox/logic.hpp"
 #include "pprox/shuffle.hpp"
 #include "pprox/tenancy.hpp"
@@ -81,8 +84,52 @@ class ProxyServer final : public net::RequestSink {
   std::size_t pending_responses() const { return pending_.size(); }
 
  private:
+  /// One buffered inbound request awaiting its batched enclave transform.
+  /// The body is still the client's ciphertext — the transform happens at
+  /// release time, inside the per-flush ecall.
+  struct PendingRequest {
+    http::HttpRequest request;
+    net::RespondFn done;
+    const UaLogic* ua_logic = nullptr;
+    const IaLogic* ia_logic = nullptr;
+    bool is_get = false;
+  };
+
+  /// One buffered outbound response (IA). `logic == nullptr` marks a
+  /// passthrough (post response or LRS error); otherwise the LRS body is
+  /// sealed under `k_u` at release time, inside the per-flush ecall.
+  struct PendingResponse {
+    http::HttpResponse response;
+    net::RespondFn done;
+    const IaLogic* logic = nullptr;
+    Bytes k_u;
+  };
+
+  /// Reusable per-flush scratch: the arena the batch entry points stage
+  /// identifier blocks in, plus the slot vectors that describe the batch to
+  /// the enclave. Pooled so the steady-state flush cycle allocates nothing.
+  struct BatchScratch {
+    BatchScratch(std::size_t arena_bytes, std::size_t slots)
+        : arena(arena_bytes) {
+      ua_slots.reserve(slots);
+      ia_slots.reserve(slots);
+      seal_slots.reserve(slots);
+    }
+    BatchArena arena;
+    std::vector<UaBatchSlot> ua_slots;
+    std::vector<IaRequestSlot> ia_slots;
+    std::vector<IaSealSlot> seal_slots;
+  };
+
   PPROX_HOT void handle_ua(http::HttpRequest request, net::RespondFn done);
   PPROX_HOT void handle_ia(http::HttpRequest request, net::RespondFn done);
+  /// Batch sinks: ONE ecall per released batch (ROADMAP item 3).
+  PPROX_HOT void release_request_batch(std::span<PendingRequest> batch);
+  PPROX_HOT void release_response_batch(std::span<PendingResponse> batch);
+  PPROX_HOT std::unique_ptr<BatchScratch> acquire_scratch()
+      PPROX_EXCLUDES(scratch_mutex_);
+  PPROX_HOT void recycle_scratch(std::unique_ptr<BatchScratch> scratch)
+      PPROX_EXCLUDES(scratch_mutex_);
   void fail(const net::RespondFn& done, int status, std::string_view message);
   /// Tenant id named by the request header (kDefaultTenant when absent).
   static std::string tenant_of(const http::HttpRequest& request);
@@ -101,9 +148,15 @@ class ProxyServer final : public net::RequestSink {
   PendingStore pending_;
   crypto::Drbg enclave_rng_;
 
+  // Scratch pool (declared before the pool/queues so it outlives every
+  // in-flight flush during destruction).
+  Mutex scratch_mutex_;
+  std::vector<std::unique_ptr<BatchScratch>> scratch_pool_
+      PPROX_GUARDED_BY(scratch_mutex_);
+
   concurrent::ThreadPool workers_;
-  ShuffleQueue request_shuffle_;   ///< UA: outbound requests (to IA)
-  ShuffleQueue response_shuffle_;  ///< IA: outbound responses (to UA)
+  ShuffleQueue<PendingRequest> request_shuffle_;    ///< outbound requests
+  ShuffleQueue<PendingResponse> response_shuffle_;  ///< IA: outbound responses
 
   Atomic<std::uint64_t> requests_seen_{0};
   Atomic<std::uint64_t> errors_{0};

@@ -1,19 +1,39 @@
 // PPROX-LAYER: shared
 //
-// Request/response shuffling buffer (paper §4.3, Fig. 5): actions are
+// Request/response shuffling buffer (paper §4.3, Fig. 5): items are
 // buffered until S of them are pending or a timer expires, then released in
 // randomized order. Breaks the temporal correlation between a proxy layer's
 // inbound and outbound messages.
 //
-// The buffered release actions close over *ciphertext only* (an already-
-// transformed request or a sealed response): this TU is flow-lint "shared",
-// so it can never name a taint domain or declassifier, and the only way a
-// cleartext identifier could enter a closure is through a declassify_* call
-// upstream — which the lint audits at that call site.
+// The queue is generic over the buffered item type. The default (a
+// type-erased closure) keeps the historical "buffer of release actions"
+// behaviour; the proxy instantiates it with *typed* pending-request/response
+// structs instead, so a whole batch can cross the enclave boundary as one
+// ecall (ROADMAP item 3) through the batch sink:
+//
+//   * set_batch_sink(fn): on every flush, `fn(span<Item>, FlushInfo)` is
+//     invoked once with the already-shuffled batch. The vector's storage
+//     stays owned by the queue and is recycled (two pre-reserved buffers
+//     ping-pong between "filling" and "releasing"), so the steady-state
+//     add()/flush cycle performs no heap allocation at all — the fix for
+//     the old per-action std::function capture allocation.
+//   * without a sink, each item is invoked if the item type is callable
+//     (the historical behaviour); non-callable items require a sink before
+//     first use.
+//
+// Buffered items carry *ciphertext only* (an already-transformed request or
+// a sealed response) or plaintext that is still sealed inside an HTTP body
+// awaiting its in-enclave batch transform: this TU is flow-lint "shared",
+// so it can never name a taint domain or declassifier, and cleartext could
+// only leak through a declassify_* call upstream — which the lint audits at
+// that call site.
 #pragma once
 
 #include <chrono>
 #include <functional>
+#include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/hotpath.hpp"
@@ -24,62 +44,269 @@
 
 namespace pprox {
 
+/// Why a batch was released. Observable via set_flush_observer so the
+/// pprox_check shuffle model can verify "flush at exactly S or timer".
+enum class FlushReason { kSize, kTimer, kExplicit };
+
+/// Snapshot of one flush, taken under the queue lock at swap time.
+struct FlushInfo {
+  FlushReason reason;
+  std::size_t batch_size;
+  /// Deadline of the arming epoch current at swap time (kTimer only).
+  SteadyClock::time_point deadline;
+  SteadyClock::time_point now;
+};
+using FlushObserver = std::function<void(const FlushInfo&)>;
+
+template <typename Item = std::function<void()>>
 class ShuffleQueue {
  public:
-  /// Why a batch was released. Observable via set_flush_observer so the
-  /// pprox_check shuffle model can verify "flush at exactly S or timer".
-  enum class FlushReason { kSize, kTimer, kExplicit };
+  /// Invoked once per released batch with the shuffled items. The span's
+  /// backing storage belongs to the queue (recycled across flushes): the
+  /// sink must move what it needs out of the items before returning.
+  using BatchSink = std::function<void(std::span<Item>, const FlushInfo&)>;
 
-  /// Snapshot of one flush, taken under the queue lock at swap time.
-  struct FlushInfo {
-    FlushReason reason;
-    std::size_t batch_size;
-    /// Deadline of the arming epoch current at swap time (kTimer only).
-    SteadyClock::time_point deadline;
-    SteadyClock::time_point now;
-  };
-  using FlushObserver = std::function<void(const FlushInfo&)>;
+  /// size <= 1 disables buffering (items pass straight through, each as a
+  /// single-item batch when a sink is set). The timer bounds worst-case
+  /// queuing delay under low traffic.
+  ShuffleQueue(int size, std::chrono::milliseconds timeout)
+      : size_(size), timeout_(timeout) {
+    if (size_ > 1) {
+      // A batch can never exceed S items, and a releasing batch returns its
+      // storage before the next flush in steady state: reserving two
+      // buffers here makes the add()/flush cycle allocation-free.
+      buffer_.reserve(static_cast<std::size_t>(size_));
+      spare_.reserve(static_cast<std::size_t>(size_));
+      timer_ = DetThread([this] { timer_loop(); }, "shuffle-timer");
+    }
+  }
 
-  /// size <= 1 disables buffering (actions pass straight through).
-  /// The timer bounds worst-case queuing delay under low traffic.
-  ShuffleQueue(int size, std::chrono::milliseconds timeout);
-  ~ShuffleQueue();
+  ~ShuffleQueue() {
+    {
+      LockGuard lock(mutex_);
+      stopping_ = true;
+      cv_.notify_all();
+    }
+    if (timer_.joinable()) timer_.join();
+    flush_now();  // do not strand queued work
+  }
 
   ShuffleQueue(const ShuffleQueue&) = delete;
   ShuffleQueue& operator=(const ShuffleQueue&) = delete;
 
   /// Test/model observer invoked (outside the lock, on the flushing thread)
-  /// for every non-empty batch, before its actions run. Set before any
-  /// concurrent use; not synchronized against in-flight flushes.
+  /// for every non-empty batch, before its items are released. Set before
+  /// any concurrent use; not synchronized against in-flight flushes.
   void set_flush_observer(FlushObserver observer) {
     observer_ = std::move(observer);
   }
 
-  /// Adds a release action. May synchronously flush (and run actions on the
+  /// Batch release hook; set before any concurrent use. See BatchSink.
+  void set_batch_sink(BatchSink sink) { sink_ = std::move(sink); }
+
+  /// Adds an item. May synchronously flush (and release the batch on the
   /// calling thread) when the buffer reaches S.
-  PPROX_HOT void add(std::function<void()> release) PPROX_EXCLUDES(mutex_);
+  PPROX_HOT void add(Item item) PPROX_EXCLUDES(mutex_) {
+    if (size_ <= 1) {
+      pass_through(std::move(item));
+      return;
+    }
+    std::vector<Item> batch;
+    FlushInfo info{FlushReason::kSize, 0, {}, {}};
+    {
+      LockGuard lock(mutex_);
+      // PPROX-HOTPATH-OK(alloc): buffer_ is pre-reserved to S at
+      // construction and refilled from the reserved spare at swap time, so
+      // the steady-state push_back never grows.
+      buffer_.push_back(std::move(item));
+      if (static_cast<int>(buffer_.size()) >= size_) {
+        batch.swap(buffer_);
+        refill_buffer_locked();
+        deadline_armed_ = false;
+        ++arm_generation_;
+        info = FlushInfo{FlushReason::kSize, batch.size(), deadline_,
+                         SteadyClock::now()};
+      } else if (buffer_.size() == 1) {
+        deadline_ = SteadyClock::now() + timeout_;
+        deadline_armed_ = true;
+        ++arm_generation_;
+        cv_.notify_all();
+      }
+    }
+    if (!batch.empty()) release(std::move(batch), info);
+  }
 
   /// Forces an immediate flush (used by tests and shutdown).
-  void flush_now() PPROX_EXCLUDES(mutex_);
+  void flush_now() PPROX_EXCLUDES(mutex_) {
+    std::vector<Item> batch;
+    FlushInfo info{FlushReason::kExplicit, 0, {}, {}};
+    {
+      LockGuard lock(mutex_);
+      batch.swap(buffer_);
+      refill_buffer_locked();
+      deadline_armed_ = false;
+      ++arm_generation_;
+      info = FlushInfo{FlushReason::kExplicit, batch.size(), deadline_,
+                       SteadyClock::now()};
+    }
+    if (!batch.empty()) release(std::move(batch), info);
+  }
 
-  std::size_t buffered() const PPROX_EXCLUDES(mutex_);
+  std::size_t buffered() const PPROX_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
+    return buffer_.size();
+  }
   std::uint64_t flush_count() const {
     return flushes_.load(std::memory_order_relaxed);
   }
 
  private:
-  void timer_loop() PPROX_EXCLUDES(mutex_);
-  void run_batch(std::vector<std::function<void()>> batch,
-                 const FlushInfo& info) PPROX_EXCLUDES(mutex_);
+  /// size <= 1: no buffering, no observer, no flush accounting — but a
+  /// configured sink still sees the item as a single-item batch so callers
+  /// keep one code path for both modes.
+  PPROX_HOT void pass_through(Item item) PPROX_EXCLUDES(mutex_) {
+    if (!sink_) {
+      if constexpr (std::is_invocable_v<Item&>) {
+        item();
+      }
+      return;
+    }
+    std::vector<Item> batch;
+    {
+      LockGuard lock(mutex_);
+      batch = take_spare_locked(1);
+    }
+    batch.push_back(std::move(item));
+    sink_(std::span<Item>(batch),
+          FlushInfo{FlushReason::kExplicit, 1, {}, SteadyClock::now()});
+    recycle(std::move(batch));
+  }
+
+  /// Replaces buffer_ (just swapped out) with reserved storage. Called
+  /// under the queue lock at every swap.
+  void refill_buffer_locked() PPROX_REQUIRES(mutex_) {
+    buffer_ = take_spare_locked(static_cast<std::size_t>(size_));
+  }
+
+  std::vector<Item> take_spare_locked(std::size_t capacity)
+      PPROX_REQUIRES(mutex_) {
+    std::vector<Item> storage;
+    if (spare_.capacity() >= capacity) {
+      storage.swap(spare_);
+    } else {
+      // PPROX-HOTPATH-OK(alloc): cold — only when a previous batch is still
+      // releasing concurrently (two flushes in flight); steady state reuses
+      // the two construction-time reservations.
+      storage.reserve(capacity);
+    }
+    return storage;
+  }
+
+  /// Returns a released batch's storage to the spare slot for the next swap.
+  void recycle(std::vector<Item>&& batch) PPROX_EXCLUDES(mutex_) {
+    batch.clear();
+    LockGuard lock(mutex_);
+    if (spare_.capacity() < batch.capacity()) spare_ = std::move(batch);
+  }
+
+  void release(std::vector<Item>&& batch, const FlushInfo& info)
+      PPROX_EXCLUDES(mutex_) {
+    if (observer_) observer_(info);
+    shuffle(batch, rng_);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    if (sink_) {
+      sink_(std::span<Item>(batch), info);
+    } else if constexpr (std::is_invocable_v<Item&>) {
+      for (auto& item : batch) item();
+    }
+    recycle(std::move(batch));
+  }
+
+#ifdef PPROX_CHECK_SELFTEST
+  // Fault injection for pprox_check --model shuffle (tools/CMakeLists.txt):
+  // the pre-fix timer loop, preserved verbatim. wait_until() snapshots
+  // deadline_ once, so when a size-triggered flush disarms and a later
+  // add() re-arms while the timer is parked, the timer still times out at
+  // the OLD (earlier) deadline and flushes the successor batch before its
+  // delay bound (tools/traces/shuffle_stale_deadline.txt). The selftest
+  // build must make the model FAIL on exactly this schedule.
+  void timer_loop() PPROX_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (!stopping_) {
+      if (!deadline_armed_) {
+        cv_.wait(lock, [this] { return stopping_ || deadline_armed_; });
+        continue;
+      }
+      if (cv_.wait_until(lock, deadline_, [this] {
+            return stopping_ || !deadline_armed_;
+          })) {
+        continue;  // re-armed, flushed by size, or stopping
+      }
+      // Deadline reached with the buffer still pending: flush it.
+      std::vector<Item> batch;
+      batch.swap(buffer_);
+      refill_buffer_locked();
+      deadline_armed_ = false;
+      ++arm_generation_;
+      const FlushInfo info{FlushReason::kTimer, batch.size(), deadline_,
+                           SteadyClock::now()};
+      {
+        ScopedUnlock unlocked(lock);
+        if (!batch.empty()) release(std::move(batch), info);
+      }
+    }
+  }
+#else
+  void timer_loop() PPROX_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (!stopping_) {
+      if (!deadline_armed_) {
+        cv_.wait(lock, [this] { return stopping_ || deadline_armed_; });
+        continue;
+      }
+      // A timeout may only flush the arming it waited on. The generation
+      // stamp distinguishes "this arming's deadline passed" from "the
+      // arming changed underneath the wait": without it, a size-flush +
+      // re-arm while the timer is parked leaves the wait bound to the
+      // retired (earlier) deadline, and the successor batch gets flushed
+      // before its delay bound (tools/traces/shuffle_stale_deadline.txt).
+      const std::uint64_t gen = arm_generation_;
+      const auto deadline = deadline_;
+      const bool changed = cv_.wait_until(lock, deadline, [this, gen] {
+        return stopping_ || !deadline_armed_ || arm_generation_ != gen;
+      });
+      if (changed || stopping_ || !deadline_armed_ ||
+          arm_generation_ != gen) {
+        continue;  // re-armed, flushed by size, or stopping
+      }
+      // This arming's deadline passed with its buffer still pending: flush.
+      std::vector<Item> batch;
+      batch.swap(buffer_);
+      refill_buffer_locked();
+      deadline_armed_ = false;
+      ++arm_generation_;
+      const FlushInfo info{FlushReason::kTimer, batch.size(), deadline,
+                           SteadyClock::now()};
+      {
+        ScopedUnlock unlocked(lock);
+        if (!batch.empty()) release(std::move(batch), info);
+      }
+    }
+  }
+#endif  // PPROX_CHECK_SELFTEST
 
   const int size_;
   const std::chrono::milliseconds timeout_;
   crypto::Drbg rng_;  // internally synchronized
   FlushObserver observer_;  // set once before concurrent use
+  BatchSink sink_;          // set once before concurrent use
 
   mutable Mutex mutex_;
   CondVar cv_;
-  std::vector<std::function<void()>> buffer_ PPROX_GUARDED_BY(mutex_);
+  std::vector<Item> buffer_ PPROX_GUARDED_BY(mutex_);
+  /// Reserved storage handed to buffer_ at swap time and refilled when the
+  /// released batch returns — the second half of the ping-pong pair.
+  std::vector<Item> spare_ PPROX_GUARDED_BY(mutex_);
   SteadyClock::time_point deadline_ PPROX_GUARDED_BY(mutex_){};
   bool deadline_armed_ PPROX_GUARDED_BY(mutex_) = false;
   // Bumped on every arm/disarm so the timer can tell a wake-up for the

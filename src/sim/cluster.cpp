@@ -10,19 +10,21 @@ namespace {
 /// Shuffle buffer attached to one proxy instance and one direction. Requests
 /// are released in a randomized batch when S are buffered or the timer
 /// expires (paper §4.3, §5: table T doubles as the shuffling structure).
+/// The whole batch is handed to `release` at once, mirroring the proxy's
+/// batched boundary: one ecall per flush, not one per item.
 class ShuffleStage {
  public:
   ShuffleStage(Simulator& sim, int size, double timeout_ms, RandomSource& rng,
-               std::function<void(std::uint64_t)> forward)
+               std::function<void(std::vector<std::uint64_t>)> release)
       : sim_(&sim),
         size_(size),
         timeout_ms_(timeout_ms),
         rng_(&rng),
-        forward_(std::move(forward)) {}
+        release_(std::move(release)) {}
 
   void add(std::uint64_t request_id) {
     if (size_ <= 0) {  // shuffling disabled: pass through
-      forward_(request_id);
+      release_({request_id});
       return;
     }
     buffer_.push_back(request_id);
@@ -47,14 +49,14 @@ class ShuffleStage {
     std::vector<std::uint64_t> batch;
     batch.swap(buffer_);
     shuffle(batch, *rng_);
-    for (const std::uint64_t id : batch) forward_(id);
+    release_(std::move(batch));
   }
 
   Simulator* sim_;
   int size_;
   double timeout_ms_;
   RandomSource* rng_;
-  std::function<void(std::uint64_t)> forward_;
+  std::function<void(std::vector<std::uint64_t>)> release_;
   std::vector<std::uint64_t> buffer_;
   std::uint64_t timer_epoch_ = 0;
 };
@@ -98,12 +100,18 @@ class Run {
       for (int i = 0; i < proxy_.ua_instances; ++i) {
         ua_request_shufflers_.push_back(std::make_unique<ShuffleStage>(
             sim_, proxy_.shuffle_size, proxy_.shuffle_timeout_ms, rng_,
-            [this](std::uint64_t id) { forward_to_ia(id); }));
+            batched_release(ua_cpus_[static_cast<std::size_t>(i)].get(),
+                            [this](std::uint64_t id) { forward_to_ia(id); })));
       }
       for (int i = 0; i < proxy_.ia_instances; ++i) {
+        ia_request_shufflers_.push_back(std::make_unique<ShuffleStage>(
+            sim_, proxy_.shuffle_size, proxy_.shuffle_timeout_ms, rng_,
+            batched_release(ia_cpus_[static_cast<std::size_t>(i)].get(),
+                            [this](std::uint64_t id) { forward_to_lrs(id); })));
         ia_response_shufflers_.push_back(std::make_unique<ShuffleStage>(
             sim_, proxy_.shuffle_size, proxy_.shuffle_timeout_ms, rng_,
-            [this](std::uint64_t id) { response_to_ua(id); }));
+            batched_release(ia_cpus_[static_cast<std::size_t>(i)].get(),
+                            [this](std::uint64_t id) { response_to_ua(id); })));
       }
     }
   }
@@ -172,10 +180,36 @@ class Run {
     });
   }
 
+  /// With shuffling on, the proxy crosses the enclave boundary once per
+  /// FLUSH (the batched ecall), so the transition cost is charged by
+  /// batched_release() instead of per request here. Per-item crypto work is
+  /// still per request regardless of batching.
+  bool sgx_charged_per_request() const {
+    return proxy_.sgx && proxy_.shuffle_size <= 0;
+  }
+
+  /// One simulated ecall per released batch: the transition cost gates the
+  /// whole flush on the instance's CPU, then the items forward individually.
+  std::function<void(std::vector<std::uint64_t>)> batched_release(
+      CpuPool* pool, std::function<void(std::uint64_t)> forward) {
+    return [this, pool,
+            forward = std::move(forward)](std::vector<std::uint64_t> batch) {
+      if (!proxy_.sgx || proxy_.shuffle_size <= 0) {
+        for (const std::uint64_t id : batch) forward(id);
+        return;
+      }
+      auto shared = std::make_shared<std::vector<std::uint64_t>>(
+          std::move(batch));
+      pool->submit(jittered(costs_.sgx_ecall_ms), [forward, shared] {
+        for (const std::uint64_t id : *shared) forward(id);
+      });
+    };
+  }
+
   double ua_request_cpu() const {
     double cpu = costs_.parse_forward_ms;
     if (proxy_.encryption) cpu += costs_.rsa_decrypt_ms + costs_.det_enc_ms;
-    if (proxy_.sgx) cpu += costs_.sgx_ecall_ms;
+    if (sgx_charged_per_request()) cpu += costs_.sgx_ecall_ms;
     return cpu;
   }
 
@@ -187,7 +221,7 @@ class Run {
       // synthetic workloads, no real secrets exist in this process.
       if (!is_get && proxy_.item_pseudonymization) cpu += costs_.det_enc_ms;
     }
-    if (proxy_.sgx) cpu += costs_.sgx_ecall_ms;
+    if (sgx_charged_per_request()) cpu += costs_.sgx_ecall_ms;
     return cpu;
   }
 
@@ -212,12 +246,21 @@ class Run {
     observe(FlowPoint::kUaToIa, id, req.ua_instance, req.ia_instance, false);
     sim_.schedule_in(costs_.hop_ms, [this, id] {
       const RequestState& r = states_[id];
+      // IA requests are buffered and batch-released too: the restructured
+      // proxy shuffles its inbound requests at both layers, so the IA's
+      // transform ecall is likewise paid once per flush.
       ia_cpus_[static_cast<std::size_t>(r.ia_instance)]->submit(
           jittered(ia_request_cpu(r.is_get)), [this, id] {
-            observe(FlowPoint::kIaToLrs, id, states_[id].ia_instance, -1, false);
-            sim_.schedule_in(costs_.hop_ms, [this, id] { at_lrs(id); });
+            ia_request_shufflers_[static_cast<std::size_t>(
+                                      states_[id].ia_instance)]
+                ->add(id);
           });
     });
+  }
+
+  void forward_to_lrs(std::uint64_t id) {
+    observe(FlowPoint::kIaToLrs, id, states_[id].ia_instance, -1, false);
+    sim_.schedule_in(costs_.hop_ms, [this, id] { at_lrs(id); });
   }
 
   void at_lrs(std::uint64_t id) {
@@ -246,7 +289,7 @@ class Run {
   double ia_response_cpu(bool is_get) const {
     double cpu = costs_.response_forward_ms;
     if (proxy_.encryption && is_get) cpu += costs_.response_reencrypt_ms;
-    if (proxy_.sgx) cpu += costs_.sgx_ecall_ms;
+    if (sgx_charged_per_request()) cpu += costs_.sgx_ecall_ms;
     return cpu;
   }
 
@@ -264,8 +307,10 @@ class Run {
     observe(FlowPoint::kIaToUa, id, states_[id].ia_instance, states_[id].ua_instance, true);
     sim_.schedule_in(costs_.hop_ms, [this, id] {
       const RequestState& req = states_[id];
-      double cpu = costs_.response_forward_ms;
-      if (proxy_.sgx) cpu += costs_.sgx_ecall_ms;
+      // Responses pass through the UA untouched (opaque to that layer), so
+      // no enclave transition is charged on the UA response path — matching
+      // the restructured proxy, where UA responses never enter the enclave.
+      const double cpu = costs_.response_forward_ms;
       ua_cpus_[static_cast<std::size_t>(req.ua_instance)]->submit(
           jittered(cpu), [this, id] {
             observe(FlowPoint::kUaToClient, id, states_[id].ua_instance, -1, true);
@@ -297,6 +342,7 @@ class Run {
   std::vector<std::unique_ptr<CpuPool>> ia_cpus_;
   std::vector<std::unique_ptr<CpuPool>> lrs_cpus_;
   std::vector<std::unique_ptr<ShuffleStage>> ua_request_shufflers_;
+  std::vector<std::unique_ptr<ShuffleStage>> ia_request_shufflers_;
   std::vector<std::unique_ptr<ShuffleStage>> ia_response_shufflers_;
 
   std::unordered_map<std::uint64_t, RequestState> states_;

@@ -34,7 +34,11 @@ struct CostModel {
   double det_enc_ms = 0.15;        ///< deterministic AES-CTR pseudonymization
   double response_reencrypt_ms = 1.6;  ///< IA: de-pseudonymize + re-encrypt list
   double response_forward_ms = 0.6;    ///< response-path handling per layer
-  double sgx_ecall_ms = 0.45;      ///< enclave transition + EPC paging per call
+  /// Enclave transition + EPC paging per ecall. With shuffling enabled the
+  /// proxy batches: ONE ecall per released flush (charged at release time),
+  /// so per-request transition cost amortizes as S grows; without shuffling
+  /// it stays a per-request charge.
+  double sgx_ecall_ms = 0.45;
   double client_encrypt_ms = 1.2;  ///< user-side library RSA encryptions
   /// Multiplicative lognormal jitter (sigma) applied to every CPU service
   /// time: real packet handling is never perfectly deterministic.

@@ -28,6 +28,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,8 @@ namespace {
 using pprox::Atomic;
 using pprox::CondVar;
 using pprox::DetThread;
+using pprox::FlushInfo;
+using pprox::FlushReason;
 using pprox::LockGuard;
 using pprox::Mutex;
 using pprox::ShuffleQueue;
@@ -51,13 +54,18 @@ namespace det = pprox::det;
 // ---------------------------------------------------------------------------
 // Model: shuffle — ShuffleQueue permutation completeness & flush arbitration.
 //
-// Paper §4.3: the shuffler must release every buffered action exactly once
-// (no request lost, none duplicated — a dropped or replayed action breaks the
+// Paper §4.3: the shuffler must release every buffered item exactly once
+// (no request lost, none duplicated — a dropped or replayed item breaks the
 // proxy's request/response bijection) and must only flush when the batch
 // reached S (full unlinkability set) or the delay bound fired (bounded
-// latency). Checked invariants:
-//   * every add()ed action runs exactly once (checked after destruction);
-//   * a size-triggered flush carries exactly S actions;
+// latency). The queue is the TYPED batch buffer the proxy instantiates with
+// pending-request structs: the model drives ShuffleQueue<int> through the
+// batch sink, exactly the release interface the one-ecall-per-flush proxy
+// uses. Checked invariants:
+//   * every add()ed item is delivered by the sink exactly once (checked
+//     after destruction);
+//   * the sink's span agrees with FlushInfo::batch_size;
+//   * a size-triggered flush carries exactly S items;
 //   * a timer-triggered flush never fires before the deadline of the arming
 //     it flushes — the pre-fix timer waited on a stale deadline snapshot and
 //     could flush a successor batch early (tools/traces/shuffle_stale_deadline.txt).
@@ -72,38 +80,42 @@ namespace det = pprox::det;
 void model_shuffle() {
   int released[3] = {0, 0, 0};
   {
-    ShuffleQueue queue(2, std::chrono::milliseconds(50));
-    queue.set_flush_observer([](const ShuffleQueue::FlushInfo& info) {
+    ShuffleQueue<int> queue(2, std::chrono::milliseconds(50));
+    queue.set_flush_observer([](const FlushInfo& info) {
       det::model_check(info.batch_size >= 1,
                        "flush observer invoked for an empty batch");
       det::model_check(info.batch_size <= 2,
-                       "flush released more than S actions");
-      if (info.reason == ShuffleQueue::FlushReason::kSize) {
+                       "flush released more than S items");
+      if (info.reason == FlushReason::kSize) {
         det::model_check(info.batch_size == 2,
-                         "size-triggered flush with fewer than S actions");
+                         "size-triggered flush with fewer than S items");
       }
-      if (info.reason == ShuffleQueue::FlushReason::kTimer) {
+      if (info.reason == FlushReason::kTimer) {
         det::model_check(
             info.now >= info.deadline,
             "timer flush before the armed deadline (stale-deadline arbitration)");
       }
     });
+    queue.set_batch_sink([&](std::span<int> batch, const FlushInfo& info) {
+      det::model_check(batch.size() == info.batch_size,
+                       "batch sink span disagrees with FlushInfo::batch_size");
+      for (const int item : batch) ++released[item];
+    });
     DetThread producer1(
         [&] {
-          queue.add([&] { ++released[0]; });
+          queue.add(0);
           // Let virtual time pass so a second arming gets a later deadline.
           det::advance_time(10);
-          queue.add([&] { ++released[2]; });
+          queue.add(2);
         },
         "producer-1");
-    DetThread producer2([&] { queue.add([&] { ++released[1]; }); },
-                        "producer-2");
+    DetThread producer2([&] { queue.add(1); }, "producer-2");
     producer1.join();
     producer2.join();
   }  // ~ShuffleQueue: stop timer, flush_now() leftovers
   for (int i = 0; i < 3; ++i) {
     det::model_check(released[i] == 1,
-                     "shuffle action lost or duplicated (released != 1)");
+                     "shuffle item lost or duplicated (released != 1)");
   }
 }
 
